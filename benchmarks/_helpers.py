@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark modules (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# The paper's 40-epoch budget; our synthetic analogue uses the same count.
+PAPER_EPOCHS = 40
+# Extended horizon for the alpha study so the late crossover completes.
+ALPHA_EPOCHS = 50
+# Target used for "training time" in the Fig. 3 reproduction.
+TARGET_ACC = 0.70
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark accounting."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

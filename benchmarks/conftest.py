@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module reproduces one table or figure from the paper
+(see DESIGN.md §4).  Expensive training runs are computed once per session
+and shared; every bench prints the rows/series the paper reports and also
+appends them to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers will not match the paper (our substrate is a simulator
+at laptop scale); the *shape* — orderings, crossovers, ratios — is asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    ConstantAlpha,
+    RunResult,
+    TrainingJobConfig,
+    VarAlpha,
+    run_experiment,
+)
+from repro.core.baselines import run_single_instance
+
+from _helpers import ALPHA_EPOCHS, PAPER_EPOCHS, TARGET_ACC
+
+
+@pytest.fixture(scope="session")
+def base_config() -> TrainingJobConfig:
+    """The calibrated default job (see EXPERIMENTS.md 'calibration')."""
+    return TrainingJobConfig(max_epochs=PAPER_EPOCHS, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def fig2_runs(base_config) -> dict[str, RunResult]:
+    """The four Fig. 2 configurations at α = 0.95, full epoch budget."""
+    out: dict[str, RunResult] = {}
+    for p, c, t in [(1, 3, 2), (1, 3, 8), (3, 3, 8), (5, 5, 2)]:
+        cfg = base_config.with_pct(p, c, t).with_alpha(ConstantAlpha(0.95))
+        out[cfg.label] = run_experiment(cfg)
+    return out
+
+
+@pytest.fixture(scope="session")
+def fig3_grid(base_config) -> dict[str, RunResult]:
+    """P ∈ {1,3,5} × T ∈ {2,4,8} runs stopping at the target accuracy."""
+    out: dict[str, RunResult] = {}
+    for p, c in [(1, 3), (3, 3), (5, 5)]:
+        for t in (2, 4, 8):
+            cfg = base_config.with_pct(p, c, t).with_alpha(ConstantAlpha(0.95))
+            cfg = dataclasses.replace(cfg, target_accuracy=TARGET_ACC)
+            out[cfg.label] = run_experiment(cfg)
+    return out
+
+
+@pytest.fixture(scope="session")
+def fig4_runs(base_config) -> dict[str, RunResult]:
+    """The α study at P3C3T4: 0.7, 0.95, 0.999 and Var (α_e = e/(e+1))."""
+    schedules = {
+        "0.7": ConstantAlpha(0.7),
+        "0.95": ConstantAlpha(0.95),
+        "0.999": ConstantAlpha(0.999),
+        "Var": VarAlpha(),
+    }
+    cfg44 = dataclasses.replace(base_config.with_pct(3, 3, 4), max_epochs=ALPHA_EPOCHS)
+    return {name: run_experiment(cfg44.with_alpha(s)) for name, s in schedules.items()}
+
+
+@pytest.fixture(scope="session")
+def fig6_runs(base_config) -> dict[str, RunResult]:
+    """Fig. 6: distributed P5C5T2 with varying α vs single-instance serial."""
+    dist_cfg = base_config.with_pct(5, 5, 2).with_alpha(VarAlpha())
+    # The serial baseline uses the same config; its epoch performs the same
+    # aggregate optimization work (SingleInstanceTrainer.passes_per_epoch).
+    return {
+        "distributed": run_experiment(dist_cfg),
+        "single": run_single_instance(dist_cfg),
+    }
+
+

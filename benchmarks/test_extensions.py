@@ -1,0 +1,186 @@
+"""Benches for the §II-C / §III-D mechanisms the paper describes but does
+not plot: workunit replication with quorum validation, dynamic
+parameter-server scaling, and Downpour-style warm starting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import render_table
+from repro.core import (
+    AutoscalePolicy,
+    TrainingJobConfig,
+    run_experiment,
+)
+
+from _helpers import emit, run_once
+
+
+def small_job(**overrides) -> TrainingJobConfig:
+    base = TrainingJobConfig(
+        max_epochs=3,
+        num_param_servers=1,
+        num_clients=4,
+        max_concurrent_subtasks=2,
+        num_shards=16,
+        seed=911,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def test_replication_quorum(benchmark):
+    """Replication doubles compute but verifies every result."""
+
+    def run():
+        plain = run_experiment(small_job())
+        replicated = run_experiment(small_job(replicas=2, quorum=2))
+        return plain, replicated
+
+    plain, replicated = run_once(benchmark, run)
+    rows = [
+        [
+            "no replication",
+            round(plain.total_time_hours, 3),
+            plain.counters["assimilations"],
+            "-",
+            "-",
+        ],
+        [
+            "2x replicas, quorum 2",
+            round(replicated.total_time_hours, 3),
+            replicated.counters["assimilations"],
+            replicated.counters["quorums_reached"],
+            replicated.counters["replica_disagreements"],
+        ],
+    ]
+    emit(
+        "ext_replication",
+        render_table(
+            ["config", "hours", "assimilations", "quorums", "disagreements"],
+            rows,
+            title="Extension: workunit replication + quorum (SecII-C)",
+        ),
+    )
+    assert replicated.counters["quorums_reached"] == 16 * 3
+    assert replicated.counters["replica_disagreements"] == 0
+    # Redundancy costs wall clock (twice the subtasks on the same fleet).
+    assert replicated.total_time_hours > plain.total_time_hours
+    # Accuracy is unharmed.
+    assert abs(replicated.final_val_accuracy - plain.final_val_accuracy) < 0.1
+
+
+def test_ps_autoscaling(benchmark):
+    """Autoscaling recovers the Fig. 3 P1-at-high-T regression without
+    hand-picking Pn."""
+
+    def run():
+        burst = dict(num_clients=4, max_concurrent_subtasks=6, num_shards=24)
+        fixed = run_experiment(small_job(**burst, num_param_servers=1))
+        auto = run_experiment(
+            small_job(
+                **burst,
+                num_param_servers=1,
+                ps_autoscale=True,
+                autoscale_policy=AutoscalePolicy(
+                    min_servers=1, max_servers=6, cooldown_s=5.0
+                ),
+            )
+        )
+        return fixed, auto
+
+    fixed, auto = run_once(benchmark, run)
+    rows = [
+        ["fixed P1", round(fixed.total_time_hours, 3), "-", "-"],
+        [
+            "autoscaled",
+            round(auto.total_time_hours, 3),
+            auto.counters["ps_scale_ups"],
+            auto.counters["ps_final_workers"],
+        ],
+    ]
+    emit(
+        "ext_autoscale",
+        render_table(
+            ["pool", "hours", "scale-ups", "final workers"],
+            rows,
+            title="Extension: dynamic PS scaling (SecIII-D) under a T6 burst",
+        ),
+    )
+    assert auto.counters["ps_scale_ups"] >= 1
+    assert auto.total_time_hours < fixed.total_time_hours
+
+
+def test_heterogeneity_straggler_cost(benchmark):
+    """'Heterogeneity of compute nodes' (§I): a mixed Table I fleet pays a
+    straggler penalty against a uniform fleet of the same aggregate speed —
+    waves finish when the slowest client does."""
+    from repro.simulation import TABLE1_CLIENTS, InstanceSpec
+
+    def run():
+        mixed = run_experiment(
+            small_job(num_clients=4, client_specs=TABLE1_CLIENTS, max_epochs=3)
+        )
+        # A uniform fleet at the Table I clients' mean clock (2.575 GHz).
+        uniform_spec = InstanceSpec(
+            "uniform", vcpus=8, clock_ghz=2.575, ram_gb=30, network_gbps=4
+        )
+        uniform = run_experiment(
+            small_job(num_clients=4, client_specs=(uniform_spec,), max_epochs=3)
+        )
+        return mixed, uniform
+
+    mixed, uniform = run_once(benchmark, run)
+    rows = [
+        ["Table I mixed", round(mixed.total_time_hours, 3),
+         round(mixed.final_val_accuracy, 3)],
+        ["uniform (same mean clock)", round(uniform.total_time_hours, 3),
+         round(uniform.final_val_accuracy, 3)],
+        ["straggler penalty",
+         f"{100 * (mixed.total_time_hours / uniform.total_time_hours - 1):.1f}%",
+         ""],
+    ]
+    emit(
+        "ext_heterogeneity",
+        render_table(
+            ["fleet", "hours", "final acc"],
+            rows,
+            title="Extension: heterogeneous-fleet straggler cost",
+        ),
+    )
+    # Heterogeneity costs time, not accuracy.
+    assert mixed.total_time_hours >= uniform.total_time_hours
+    assert abs(mixed.final_val_accuracy - uniform.final_val_accuracy) < 0.1
+
+
+def test_warm_starting(benchmark):
+    """Downpour-style warm start: serial preamble buys early accuracy."""
+
+    def run():
+        cold = run_experiment(small_job(max_epochs=2))
+        warm = run_experiment(small_job(max_epochs=2, warm_start_passes=6))
+        return cold, warm
+
+    cold, warm = run_once(benchmark, run)
+    rows = [
+        [
+            "cold start",
+            round(cold.epochs[0].val_accuracy_mean, 3),
+            round(cold.epochs[0].end_time_s / 60, 1),
+        ],
+        [
+            "warm start (6 passes)",
+            round(warm.epochs[0].val_accuracy_mean, 3),
+            round(warm.epochs[0].end_time_s / 60, 1),
+        ],
+    ]
+    emit(
+        "ext_warmstart",
+        render_table(
+            ["start", "epoch-1 acc", "epoch-1 ends (min)"],
+            rows,
+            title="Extension: warm starting (SecII-B, Downpour)",
+        ),
+    )
+    assert warm.epochs[0].val_accuracy_mean > cold.epochs[0].val_accuracy_mean
+    assert warm.epochs[0].end_time_s > cold.epochs[0].end_time_s

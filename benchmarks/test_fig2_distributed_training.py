@@ -1,0 +1,80 @@
+"""Fig. 2 reproduction: effect of distributed training at α = 0.95.
+
+The paper plots average validation accuracy vs cumulative training time for
+P1C3T2, P1C3T8, P3C3T8 and P5C5T2 and observes:
+
+* all configurations converge to roughly the same final accuracy (~0.73 on
+  their task) — varying Pn/Cn/Tn changes *speed*, not the destination;
+* configurations differ substantially in how fast they get there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_chart, auc_accuracy, render_table
+
+from _helpers import emit, run_once
+
+
+def test_fig2_accuracy_vs_time(benchmark, fig2_runs):
+    def build() -> str:
+        chart = ascii_chart(
+            {
+                label: (result.times_hours(), result.val_accuracy())
+                for label, result in fig2_runs.items()
+            },
+            width=72,
+            height=18,
+            title="Fig. 2 (ASCII): mean validation accuracy vs cumulative hours",
+            x_label="hours",
+            y_label="accuracy",
+        )
+        rows = []
+        for label, result in fig2_runs.items():
+            t = result.times_hours()
+            a = result.val_accuracy()
+            rows.append(
+                [
+                    label,
+                    round(float(t[-1]), 2),
+                    round(float(a[-1]), 3),
+                    round(result.best_val_accuracy(), 3),
+                    round(auc_accuracy(t, a), 3),
+                ]
+            )
+        header = render_table(
+            ["config", "total h", "final acc", "best acc", "acc AUC"],
+            rows,
+            title="Fig. 2: distributed training at alpha=0.95 (40 epochs)",
+        )
+        series = ["", "accuracy series (every 5 epochs):"]
+        for label, result in fig2_runs.items():
+            pts = [
+                f"({result.epochs[i].end_time_s / 3600:.2f}h,"
+                f" {result.epochs[i].val_accuracy_mean:.3f})"
+                for i in range(0, len(result.epochs), 5)
+            ]
+            series.append(f"  {label}: " + " ".join(pts))
+        return header + "\n" + "\n".join(series) + "\n\n" + chart
+
+    table = run_once(benchmark, build)
+    emit("fig2_distributed_training", table)
+
+    finals = {label: r.final_val_accuracy for label, r in fig2_runs.items()}
+    totals = {label: r.total_time_hours for label, r in fig2_runs.items()}
+
+    # Paper shape 1: every configuration reaches ~the same final accuracy.
+    values = np.array(list(finals.values()))
+    assert values.max() - values.min() < 0.08, finals
+
+    # Paper shape 2: speeds differ — the slowest takes much longer than the
+    # fastest to run the same 40 epochs.
+    assert max(totals.values()) > 1.5 * min(totals.values()), totals
+
+    # Paper shape 3: P1C3T2 is the slowest of the four configurations.
+    assert totals["P1C3T2"] == max(totals.values())
+
+    # Paper shape 4: adding parameter servers at T8 speeds up the epoch
+    # pipeline (P3C3T8 faster than P1C3T8).
+    assert totals["P3C3T8"] < totals["P1C3T8"]

@@ -1,0 +1,80 @@
+"""Fig. 3 reproduction: training time vs (Pn, Tn) at α = 0.95.
+
+The paper plots total training time for P1C3 / P3C3 / P5C5 across
+T ∈ {2, 4, 8} and reads off the client/server imbalance story:
+
+* P1C3: time falls from T2→T4 but *rises* from T4→T8 — a single parameter
+  server cannot drain 24 concurrent subtasks;
+* raising Pn at T8 (P1→P3) recovers the loss ("training time indeed
+  decreases by 3 hours" at their scale);
+* growing Tn grows the imbalance between client and server processing.
+
+We measure training time as time-to-target-accuracy (the paper's runs all
+converge to the same plateau, so fixed-epoch time and time-to-plateau agree
+there; on our substrate staleness at high Tn also costs *epochs*, which
+this metric captures — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+
+from _helpers import TARGET_ACC, emit, run_once
+
+
+def test_fig3_training_time_grid(benchmark, fig3_grid):
+    def build() -> str:
+        rows = []
+        for (p, c) in [(1, 3), (3, 3), (5, 5)]:
+            for t in (2, 4, 8):
+                label = f"P{p}C{c}T{t}"
+                result = fig3_grid[label]
+                rows.append(
+                    [
+                        label,
+                        round(result.total_time_hours, 3),
+                        len(result.epochs),
+                        result.stopped_reason,
+                        round(result.final_val_accuracy, 3),
+                        result.counters.get("mean_staleness_x100", 0) / 100,
+                    ]
+                )
+        return render_table(
+            ["config", "time (h)", "epochs", "stop", "final acc", "staleness"],
+            rows,
+            title=(
+                f"Fig. 3: training time to accuracy {TARGET_ACC} "
+                "vs parameter servers and simultaneous subtasks (alpha=0.95)"
+            ),
+        )
+
+    table = run_once(benchmark, build)
+    emit("fig3_ps_subtask_scaling", table)
+
+    hours = {label: r.total_time_hours for label, r in fig3_grid.items()}
+
+    # Paper shape 1 (P1C3): T2 -> T4 improves, T4 -> T8 regresses.
+    assert hours["P1C3T4"] < hours["P1C3T2"], hours
+    assert hours["P1C3T8"] > hours["P1C3T4"], hours
+
+    # Paper shape 2: more parameter servers fix the T8 regression.
+    assert hours["P3C3T8"] < hours["P1C3T8"], hours
+
+    # Paper shape 3: at low Tn the parameter-server count is irrelevant
+    # (P1C3T2 ≈ P3C3T2 — the single server keeps up easily).
+    assert abs(hours["P1C3T2"] - hours["P3C3T2"]) / hours["P1C3T2"] < 0.05
+
+    # Diminishing returns of vertical scaling at C5 (imbalance grows with
+    # Tn): the T4->T8 gain is much smaller than the T2->T4 gain.
+    gain_24 = hours["P5C5T2"] - hours["P5C5T4"]
+    gain_48 = hours["P5C5T4"] - hours["P5C5T8"]
+    assert gain_48 < gain_24, hours
+
+    # Mechanism check: parameter staleness grows with Tn, which is what
+    # costs epochs at high concurrency.
+    stale = {
+        label: r.counters.get("mean_staleness_x100", 0)
+        for label, r in fig3_grid.items()
+    }
+    assert stale["P1C3T8"] > stale["P1C3T2"], stale
+    assert stale["P5C5T8"] > stale["P5C5T2"], stale

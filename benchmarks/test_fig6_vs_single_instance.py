@@ -1,0 +1,106 @@
+"""Fig. 6 reproduction: distributed (P5C5T2, varying α) vs single-instance.
+
+The paper's three observations on the validation plot, plus the test-split
+confirmation:
+
+1. at a fixed early/mid wall-clock time the single-instance baseline is
+   ahead (their 8.4 h readings: 0.82 vs 0.73);
+2. the gap narrows as training time increases;
+3. the distributed curve is smoother (fewer fluctuations) than the
+   single-instance curve;
+4. test accuracy evolves like validation accuracy for the distributed run.
+
+Deviation note (EXPERIMENTS.md): on our shallow synthetic substrate the
+distributed run reaches parity at the very end instead of remaining below —
+parameter averaging over 50 i.i.d. shards regularizes a small MLP more than
+it hurts, unlike the paper's 552-layer ResNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    ascii_chart,
+    final_gap,
+    interpolate_to_grid,
+    render_table,
+    smoothness,
+)
+
+from _helpers import emit, run_once
+
+
+def test_fig6_distributed_vs_single(benchmark, fig6_runs):
+    dist = fig6_runs["distributed"]
+    single = fig6_runs["single"]
+
+    # Common wall-clock grid over the overlapping range.
+    hi = min(dist.total_time_hours, single.total_time_hours)
+    grid = np.linspace(0.3, hi, 60)
+    d_acc = interpolate_to_grid(dist.times_hours(), dist.val_accuracy(), grid)
+    s_acc = interpolate_to_grid(single.times_hours(), single.val_accuracy(), grid)
+
+    def build() -> str:
+        quarts = [0, len(grid) // 4, len(grid) // 2, 3 * len(grid) // 4, -1]
+        rows = [
+            [
+                f"t={grid[i]:.2f}h",
+                round(float(s_acc[i]), 3),
+                round(float(d_acc[i]), 3),
+                round(float(s_acc[i] - d_acc[i]), 3),
+            ]
+            for i in quarts
+        ]
+        table = render_table(
+            ["time", "single val", "distributed val", "gap"],
+            rows,
+            title="Fig. 6: validation accuracy, single-instance vs P5C5T2(Var)",
+        )
+        extra = render_table(
+            ["curve", "final val", "final test", "smoothness (lower=smoother)"],
+            [
+                [
+                    "single",
+                    round(single.final_val_accuracy, 3),
+                    round(single.final_test_accuracy, 3),
+                    round(smoothness(single.val_accuracy()), 5),
+                ],
+                [
+                    "distributed",
+                    round(dist.final_val_accuracy, 3),
+                    round(dist.final_test_accuracy, 3),
+                    round(smoothness(dist.val_accuracy()), 5),
+                ],
+            ],
+        )
+        chart = ascii_chart(
+            {
+                "single": (single.times_hours(), single.val_accuracy()),
+                "distributed": (dist.times_hours(), dist.val_accuracy()),
+            },
+            width=72,
+            height=18,
+            title="Fig. 6 (ASCII): single-instance vs distributed validation accuracy",
+            x_label="hours",
+            y_label="accuracy",
+        )
+        return table + "\n\n" + extra + "\n\n" + chart
+
+    table = run_once(benchmark, build)
+    emit("fig6_vs_single_instance", table)
+
+    # (1) early/mid training: single-instance ahead at matched wall clock.
+    early = slice(0, len(grid) // 3)
+    assert float((s_acc[early] - d_acc[early]).mean()) > 0.0
+
+    # (2) the gap narrows with time.
+    early_gap = float((s_acc[early] - d_acc[early]).mean())
+    late_gap = float((s_acc[-10:] - d_acc[-10:]).mean())
+    assert late_gap < early_gap
+
+    # (3) the distributed curve is smoother.
+    assert smoothness(dist.val_accuracy()) <= smoothness(single.val_accuracy())
+
+    # (4) test tracks validation for the distributed run.
+    assert abs(final_gap(dist.test_accuracy(), dist.val_accuracy())) < 0.05

@@ -1,0 +1,96 @@
+"""§IV-E reproduction (cost): preemptible vs standard instance pricing.
+
+Paper anchors for the P5C5T2 fleet (5 instances, 40 vCPU, 160 GB total):
+$1.67/h standard vs $0.50/h preemptible (70% saving); the 8-hour run costs
+$13.4 vs $4.  Also reproduces the horizontal-vs-vertical scaling cost note
+(10 small instances vs 5 large ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.cloud import Fleet, FleetMember, PricingClass, default_price_book, paper_p5c5t2_fleet
+from repro.simulation import InstanceSpec
+
+from _helpers import emit, run_once
+
+RUN_HOURS = 8.0
+
+
+def test_secIVE_fleet_cost(benchmark):
+    def build() -> str:
+        standard = paper_p5c5t2_fleet(PricingClass.STANDARD)
+        preempt = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+        rows = [
+            [
+                "standard",
+                standard.total_vcpus,
+                standard.total_ram_gb,
+                round(standard.hourly_cost(), 3),
+                round(standard.job_cost(RUN_HOURS), 2),
+            ],
+            [
+                "preemptible",
+                preempt.total_vcpus,
+                preempt.total_ram_gb,
+                round(preempt.hourly_cost(), 3),
+                round(preempt.job_cost(RUN_HOURS), 2),
+            ],
+            [
+                "saving",
+                "",
+                "",
+                f"{100 * preempt.savings_fraction():.0f}%",
+                round(standard.job_cost(RUN_HOURS) - preempt.job_cost(RUN_HOURS), 2),
+            ],
+        ]
+        return render_table(
+            ["pricing", "vCPU", "RAM (GB)", "$/hour", f"$ for {RUN_HOURS:.0f} h"],
+            rows,
+            title="SecIV-E: P5C5T2 fleet cost, standard vs preemptible",
+        )
+
+    table = run_once(benchmark, build)
+    emit("secIVE_cost", table)
+
+    standard = paper_p5c5t2_fleet(PricingClass.STANDARD)
+    preempt = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+
+    # Paper anchors.
+    assert standard.hourly_cost() == pytest.approx(1.67, abs=0.01)
+    assert preempt.hourly_cost() == pytest.approx(0.50, abs=0.01)
+    assert standard.job_cost(RUN_HOURS) == pytest.approx(13.4, abs=0.1)
+    assert preempt.job_cost(RUN_HOURS) == pytest.approx(4.0, abs=0.05)
+    assert preempt.savings_fraction() == pytest.approx(0.70, abs=0.005)
+
+
+def test_secIVE_horizontal_vs_vertical(benchmark):
+    """10 × (4 vCPU/16 GB) vs 5 × (8 vCPU/32 GB): equal capacity; the paper
+    notes per-pool discounts can make one cheaper.  With a deeper discount
+    on the small pool the horizontal fleet wins."""
+
+    def build() -> str:
+        small = InstanceSpec("small", vcpus=4, clock_ghz=2.2, ram_gb=16, network_gbps=5)
+        large = InstanceSpec("large", vcpus=8, clock_ghz=2.2, ram_gb=32, network_gbps=5)
+        base = default_price_book()
+        deeper = type(base)(
+            per_vcpu_hour=base.per_vcpu_hour,
+            per_gb_hour=base.per_gb_hour,
+            preemptible_discount=0.85,  # small pool discounted 85%
+        )
+        horizontal = Fleet([FleetMember(small) for _ in range(10)], deeper)
+        vertical = Fleet([FleetMember(large) for _ in range(5)], base)
+        rows = [
+            ["10 x small (85% disc.)", horizontal.total_vcpus, round(horizontal.hourly_cost(), 3)],
+            ["5 x large (70% disc.)", vertical.total_vcpus, round(vertical.hourly_cost(), 3)],
+        ]
+        return render_table(
+            ["fleet", "vCPU", "$/hour"],
+            rows,
+            title="SecIV-E: horizontal vs vertical scaling under pool discounts",
+        )
+
+    table = run_once(benchmark, build)
+    emit("secIVE_scaling_cost", table)

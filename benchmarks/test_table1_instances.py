@@ -1,0 +1,54 @@
+"""Table I reproduction: server and client instance configurations.
+
+Prints the paper's Table I alongside the derived performance-model
+quantities (per-core and total work rates) that calibrate the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.simulation import TABLE1_CLIENTS, TABLE1_SERVER
+
+from _helpers import emit, run_once
+
+
+def test_table1_instance_configurations(benchmark):
+    def build() -> str:
+        rows = []
+        for role, spec in [("Server", TABLE1_SERVER)] + [
+            ("Client", c) for c in TABLE1_CLIENTS
+        ]:
+            rows.append(
+                [
+                    role,
+                    spec.vcpus,
+                    spec.clock_ghz,
+                    spec.ram_gb,
+                    f"upto {spec.network_gbps:g}",
+                    round(spec.per_core_rate, 3),
+                    round(spec.total_rate, 2),
+                ]
+            )
+        return render_table(
+            [
+                "Role",
+                "vCPU",
+                "Clock (GHz)",
+                "RAM (GB)",
+                "Net (Gbps)",
+                "rate/core",
+                "rate total",
+            ],
+            rows,
+            title="Table I: instance configurations (+ derived work rates)",
+        )
+
+    table = run_once(benchmark, build)
+    emit("table1_instances", table)
+
+    # Shape assertions: the exact paper values.
+    assert TABLE1_SERVER.vcpus == 8 and TABLE1_SERVER.ram_gb == 61
+    assert [c.vcpus for c in TABLE1_CLIENTS] == [8, 8, 8, 16]
+    assert [c.clock_ghz for c in TABLE1_CLIENTS] == [2.2, 2.5, 2.8, 2.8]
+    assert [c.ram_gb for c in TABLE1_CLIENTS] == [32, 32, 15, 30]
+    assert [c.network_gbps for c in TABLE1_CLIENTS] == [5, 5, 2, 2]

@@ -1,0 +1,81 @@
+"""α-schedule study: how the VC-ASGD hyperparameter shapes convergence.
+
+Reproduces the §IV-C experiment interactively at a reduced scale: constant
+α values against the epoch-varying schedule α_e = e/(e+1), plus a custom
+schedule to show the extension point.
+
+Run:  python examples/alpha_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import crossover_time, render_table
+from repro.core import (
+    CallableAlpha,
+    ConstantAlpha,
+    TrainingJobConfig,
+    VarAlpha,
+    run_experiment,
+)
+
+
+def main() -> None:
+    base = TrainingJobConfig(
+        num_param_servers=3,
+        num_clients=3,
+        max_concurrent_subtasks=4,
+        num_shards=30,
+        max_epochs=15,
+        seed=33,
+    )
+    schedules = [
+        ConstantAlpha(0.7),
+        ConstantAlpha(0.95),
+        ConstantAlpha(0.999),
+        VarAlpha(),
+        # Extension point: any epoch -> alpha callable works.
+        CallableAlpha(lambda e: min(0.98, 0.6 + 0.02 * e), label="0.6+0.02e"),
+    ]
+
+    results = {}
+    for schedule in schedules:
+        cfg = base.with_alpha(schedule)
+        results[schedule.describe()] = run_experiment(cfg)
+
+    rows = []
+    for name, result in results.items():
+        acc = result.val_accuracy()
+        rows.append(
+            [
+                name,
+                round(float(acc[2]), 3),
+                round(float(acc[len(acc) // 2]), 3),
+                round(float(acc[-1]), 3),
+                round(result.mean_spread(last_k=5), 4),
+            ]
+        )
+    print(
+        render_table(
+            ["schedule", "acc early", "acc mid", "acc final", "late spread"],
+            rows,
+            title="VC-ASGD alpha schedules at P3C3T4",
+        )
+    )
+
+    a07 = results["alpha=0.7"]
+    a95 = results["alpha=0.95"]
+    cross = crossover_time(
+        a07.times_hours(), a07.val_accuracy(), a95.times_hours(), a95.val_accuracy()
+    )
+    if cross is not None:
+        print(f"\nalpha=0.7 vs alpha=0.95 curves cross at ~{cross:.2f} simulated hours")
+    else:
+        print("\nNo crossover within this horizon (extend max_epochs to see it)")
+    print(
+        "Small alpha learns fast early but plateaus noisily; large alpha is "
+        "slow; the varying schedule gets both regimes right (paper §IV-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Capacity planning: size a fleet before you pay for it.
+
+Answers the scaling questions the paper raises analytically — how many
+parameter servers does a given client fleet need (§IV-B), what does the
+strong-consistency store cost at ImageNet scale (§IV-D), and what will the
+job cost on preemptible capacity (§IV-E) — then cross-checks one planned
+configuration against the event simulator.
+
+Run:  python examples/capacity_planner.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cloud import cifar10_workload, imagenet_workload, plan_capacity
+from repro.core import ConstantAlpha, TrainingJobConfig, run_experiment
+from repro.kvstore import mysql_like_latency, redis_like_latency
+
+
+def main() -> None:
+    cifar = cifar10_workload()
+
+    print("How many parameter servers does each fleet shape need?\n")
+    rows = []
+    for clients, concurrency in [(3, 2), (3, 8), (5, 2), (5, 8), (10, 8)]:
+        est = plan_capacity(cifar, num_clients=clients, concurrency=concurrency,
+                            num_param_servers=1)
+        rows.append(
+            [
+                f"C{clients} T{concurrency}",
+                round(est.ps_utilization, 2),
+                est.bottleneck,
+                est.min_param_servers,
+                round(est.job_hours, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["fleet", "rho at P1", "bottleneck", "min Pn", "job h at P1"],
+            rows,
+            title="Parameter-server sizing (CIFAR10-scale workload)",
+        )
+    )
+
+    print("\nStore choice at scale (the SecIV-D extrapolation):\n")
+    rows = []
+    for wl in (cifar, imagenet_workload()):
+        redis = plan_capacity(wl, num_clients=5, num_param_servers=5,
+                              store=redis_like_latency())
+        mysql = plan_capacity(wl, num_clients=5, num_param_servers=5,
+                              store=mysql_like_latency())
+        rows.append(
+            [
+                wl.name,
+                f"{wl.total_subtasks:,}",
+                round(mysql.store_overhead_hours, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["workload", "updates", "strong-store overhead (h)"],
+            rows,
+            title="Strong- vs eventual-consistency overhead",
+        )
+    )
+
+    print("\nCross-check: planned vs simulated epoch time (P3C3T2)\n")
+    est = plan_capacity(cifar, num_clients=3, concurrency=2, num_param_servers=3)
+    planned_epoch = est.job_hours * 3600 / cifar.epochs
+    cfg = TrainingJobConfig(
+        num_param_servers=3,
+        num_clients=3,
+        max_concurrent_subtasks=2,
+        max_epochs=3,
+        alpha_schedule=ConstantAlpha(0.95),
+    )
+    result = run_experiment(cfg)
+    simulated_epoch = result.total_time_s / len(result.epochs)
+    print(f"  planner : {planned_epoch:7.1f} s/epoch")
+    print(f"  simulator: {simulated_epoch:6.1f} s/epoch")
+    print(f"  error   : {100 * abs(planned_epoch - simulated_epoch) / simulated_epoch:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Preemptible-fleet scenario: trade money for fault-tolerance work.
+
+The paper's central cost claim (§III-E, §IV-E): run the client fleet on
+preemptible instances at a 70-90% discount and let the BOINC timeout /
+reissue machinery absorb the terminations.  This example:
+
+1. runs the same job on a "standard" fleet (no preemptions) and on a
+   "preemptible" fleet at several interruption rates;
+2. reports accuracy, wall clock, recovery counters and the dollar cost of
+   each variant;
+3. compares the simulated slowdown against the paper's closed-form
+   binomial delay model.
+
+Run:  python examples/preemptible_fleet.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import render_table
+from repro.cloud import PricingClass, paper_p5c5t2_fleet
+from repro.core import FaultConfig, TrainingJobConfig, run_experiment
+from repro.simulation import BernoulliSubtaskModel
+
+
+def main() -> None:
+    base = TrainingJobConfig(
+        num_param_servers=3,
+        num_clients=5,
+        max_concurrent_subtasks=2,
+        num_shards=30,
+        max_epochs=6,
+        seed=21,
+    )
+    standard_fleet = paper_p5c5t2_fleet(PricingClass.STANDARD)
+    preemptible_fleet = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+
+    rows = []
+    baseline_hours = None
+    for label, hourly_p, fleet in [
+        ("standard", 0.0, standard_fleet),
+        ("preemptible p=0.05/h", 0.05, preemptible_fleet),
+        ("preemptible p=0.20/h", 0.20, preemptible_fleet),
+        ("preemptible p=0.50/h", 0.50, preemptible_fleet),
+    ]:
+        cfg = dataclasses.replace(
+            base,
+            faults=FaultConfig(preemption_hourly_p=hourly_p, relaunch_delay_s=120.0),
+        )
+        result = run_experiment(cfg)
+        hours = result.total_time_hours
+        if baseline_hours is None:
+            baseline_hours = hours
+        rows.append(
+            [
+                label,
+                round(result.final_val_accuracy, 3),
+                round(hours, 2),
+                result.counters["preemptions"],
+                result.counters["timeouts"] + result.counters["reissues"],
+                f"${fleet.job_cost(hours):.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["fleet", "final acc", "hours", "preemptions", "recoveries", "cost"],
+            rows,
+            title="Preemptible fleet: accuracy, time and cost under interruption",
+        )
+    )
+
+    # Compare against the paper's analytical delay model for this job shape.
+    model = BernoulliSubtaskModel(
+        n_s=base.num_shards * base.max_epochs,
+        n_c=base.num_clients,
+        n_tc=base.max_concurrent_subtasks,
+        t_e=2.4 * 60,
+        t_o=base.subtask_timeout_s,
+    )
+    print("\nClosed-form expected delay (paper's binomial model):")
+    for p in (0.05, 0.20, 0.50):
+        print(
+            f"  p={p:.2f}: +{model.expected_delay(p) / 60:.0f} min expected "
+            f"(n={model.n:.0f} waves)"
+        )
+    print(
+        "\nTakeaway: the preemptible fleet costs ~70% less per hour; even at "
+        "aggressive interruption rates the timeout/reissue machinery keeps "
+        "the job converging, paying only bounded extra wall clock."
+    )
+
+
+if __name__ == "__main__":
+    main()

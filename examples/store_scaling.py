@@ -1,0 +1,107 @@
+"""Parameter-store scaling study (§III-D / §IV-D).
+
+Shows why the paper stores the shared server parameter copy in an
+eventual-consistency main-memory store: as the number of parameter servers
+grows, the strong store's per-key serialization turns into queueing delay,
+while the eventual store scales at the cost of occasional lost updates —
+which distributed training tolerates.
+
+Run:  python examples/store_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import TrainingJobConfig, run_experiment
+from repro.kvstore import (
+    PAPER_PARAM_BYTES,
+    EventualStore,
+    StrongStore,
+    mysql_like_latency,
+    redis_like_latency,
+)
+from repro.simulation import Simulator
+
+
+def microbench(num_concurrent: int) -> list[list[object]]:
+    """Drive N concurrent parameter-update transactions into both stores."""
+    rows = []
+    for name, store_cls, latency in [
+        ("eventual", EventualStore, redis_like_latency()),
+        ("strong", StrongStore, mysql_like_latency()),
+    ]:
+        sim = Simulator()
+        store = store_cls(sim, latency)
+        store.put_now("params", np.zeros(8))
+        done_times: list[float] = []
+        for _ in range(num_concurrent):
+            store.read_modify_write(
+                "params",
+                lambda v: v + 1.0,
+                on_done=lambda _v: done_times.append(sim.now),
+                nbytes=PAPER_PARAM_BYTES,
+            )
+        sim.run()
+        rows.append(
+            [
+                f"{name} x{num_concurrent}",
+                round(max(done_times), 2),
+                round(float(np.mean(done_times)), 2),
+                getattr(store, "lost_updates", 0),
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    print("Micro-benchmark: N concurrent ~21 MB parameter updates\n")
+    rows: list[list[object]] = []
+    for n in (1, 4, 16):
+        rows.extend(microbench(n))
+    print(
+        render_table(
+            ["store x concurrency", "drain time (s)", "mean commit (s)", "lost updates"],
+            rows,
+            title="Concurrent update transactions (paper-calibrated latencies)",
+        )
+    )
+
+    print("\nFull pipeline: same job on each store\n")
+    rows = []
+    for kind in ("eventual", "strong"):
+        cfg = TrainingJobConfig(
+            num_param_servers=4,
+            num_clients=4,
+            max_concurrent_subtasks=4,
+            num_shards=25,
+            max_epochs=3,
+            store_kind=kind,
+            seed=5,
+        )
+        result = run_experiment(cfg)
+        rows.append(
+            [
+                kind,
+                round(result.total_time_hours, 3),
+                round(result.final_val_accuracy, 3),
+                result.counters["lost_updates"],
+            ]
+        )
+    print(
+        render_table(
+            ["store", "hours", "final acc", "lost updates"],
+            rows,
+            title="P4C4T4 training job, 3 epochs",
+        )
+    )
+    print(
+        "\nThe strong store loses nothing but serializes every update; the "
+        "eventual store overlaps them.  Training accuracy is essentially "
+        "unaffected by the lost updates — the §III-D design bet."
+    )
+
+
+if __name__ == "__main__":
+    main()

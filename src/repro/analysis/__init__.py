@@ -1,0 +1,29 @@
+"""Curve analysis and table rendering for experiment results."""
+
+from .ascii_plot import ascii_chart
+from .curves import (
+    auc_accuracy,
+    crossover_time,
+    final_gap,
+    interpolate_to_grid,
+    smoothness,
+    time_to_threshold,
+)
+from .reporting import comparison_table, markdown_report, run_summary_table
+from .tables import format_hours, format_pct, render_table
+
+__all__ = [
+    "ascii_chart",
+    "run_summary_table",
+    "comparison_table",
+    "markdown_report",
+    "interpolate_to_grid",
+    "time_to_threshold",
+    "crossover_time",
+    "smoothness",
+    "final_gap",
+    "auc_accuracy",
+    "render_table",
+    "format_hours",
+    "format_pct",
+]

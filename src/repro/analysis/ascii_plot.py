@@ -1,0 +1,97 @@
+"""ASCII line charts — terminal-rendered figures.
+
+No plotting backend is assumed anywhere in this repository; the benchmark
+harness renders the paper's figures as ASCII charts into
+``benchmarks/results/`` so the curve *shapes* (crossovers, plateaus,
+orderings) are reviewable without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axes ASCII chart.
+
+    Each series gets a marker from ``oxX*#@%&`` (legend appended).  Points
+    are nearest-cell rasterized; later series overwrite earlier ones where
+    they collide.
+    """
+    if not series:
+        raise ConfigurationError("ascii_chart needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise ConfigurationError(f"series {name!r} must be equal-length 1-D")
+        cleaned[name] = (x, y)
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (x, y)) in enumerate(cleaned.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        cols = np.clip(
+            ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int),
+            0,
+            width - 1,
+        )
+        rows = np.clip(
+            ((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * pad + "  " + x_axis)
+    if x_label or y_label:
+        lines.append(" " * pad + f"  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Markdown experiment reports from run results.
+
+Turns one or more :class:`~repro.core.results.RunResult` objects into the
+kind of summary EXPERIMENTS.md records: per-epoch tables, headline numbers,
+pairwise comparisons (time-to-accuracy, final gap, smoothness).  Used by
+the CLI and handy in notebooks/scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.results import RunResult
+from .curves import crossover_time, smoothness, time_to_threshold
+from .tables import format_hours, render_table
+
+__all__ = ["run_summary_table", "comparison_table", "markdown_report"]
+
+
+def run_summary_table(results: Sequence[RunResult]) -> str:
+    """One row per run: headline accuracy/time/robustness numbers."""
+    rows = []
+    for result in results:
+        counters = result.counters
+        rows.append(
+            [
+                result.label,
+                len(result.epochs),
+                format_hours(result.total_time_s),
+                round(result.final_val_accuracy, 3),
+                round(result.best_val_accuracy(), 3),
+                round(smoothness(result.val_accuracy()), 5),
+                counters.get("timeouts", 0),
+                counters.get("preemptions", 0),
+                counters.get("lost_updates", 0),
+            ]
+        )
+    return render_table(
+        [
+            "run",
+            "epochs",
+            "time",
+            "final acc",
+            "best acc",
+            "fluctuation",
+            "timeouts",
+            "preempts",
+            "lost upd",
+        ],
+        rows,
+    )
+
+
+def comparison_table(a: RunResult, b: RunResult, thresholds: Sequence[float]) -> str:
+    """Pairwise race: who reaches each accuracy threshold first."""
+    rows = []
+    ta, va = a.times_hours() * 3600, a.val_accuracy()
+    tb, vb = b.times_hours() * 3600, b.val_accuracy()
+    for threshold in thresholds:
+        hit_a = time_to_threshold(ta, va, threshold)
+        hit_b = time_to_threshold(tb, vb, threshold)
+        if hit_a is None and hit_b is None:
+            winner = "neither"
+        elif hit_a is None:
+            winner = b.label
+        elif hit_b is None:
+            winner = a.label
+        else:
+            winner = a.label if hit_a <= hit_b else b.label
+        rows.append(
+            [
+                f"{threshold:.2f}",
+                format_hours(hit_a) if hit_a is not None else "never",
+                format_hours(hit_b) if hit_b is not None else "never",
+                winner,
+            ]
+        )
+    return render_table(
+        ["accuracy", a.label, b.label, "first"],
+        rows,
+        title=f"time-to-accuracy: {a.label} vs {b.label}",
+    )
+
+
+def markdown_report(
+    results: Sequence[RunResult],
+    title: str = "Experiment report",
+    thresholds: Sequence[float] = (0.5, 0.6, 0.7),
+) -> str:
+    """Full markdown document for a set of runs."""
+    lines: list[str] = [f"# {title}", "", "## Summary", "```"]
+    lines.append(run_summary_table(results))
+    lines.append("```")
+    for result in results:
+        lines.extend(["", f"## {result.label}", "```"])
+        rows = [
+            [
+                rec.epoch,
+                format_hours(rec.end_time_s),
+                round(rec.val_accuracy_mean, 3),
+                round(rec.val_accuracy_spread, 4),
+                round(rec.test_accuracy, 3),
+            ]
+            for rec in result.epochs
+        ]
+        lines.append(
+            render_table(["epoch", "time", "val acc", "spread", "test acc"], rows)
+        )
+        lines.append("```")
+        lines.append(f"- stopped: {result.stopped_reason or 'n/a'}")
+        for key, value in sorted(result.counters.items()):
+            lines.append(f"- {key}: {value}")
+    if len(results) == 2:
+        lines.extend(["", "## Head-to-head", "```"])
+        lines.append(comparison_table(results[0], results[1], thresholds))
+        a, b = results
+        cross = crossover_time(
+            a.times_hours(), a.val_accuracy(), b.times_hours(), b.val_accuracy()
+        )
+        lines.append("```")
+        if cross is not None:
+            lines.append(f"- curves cross at ~{cross:.2f} h")
+        else:
+            lines.append("- no crossover in the common window")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Each benchmark prints the rows/series the corresponding paper table or
+figure reports; this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_hours", "format_pct"]
+
+
+def format_hours(seconds: float) -> str:
+    """Seconds → 'H.HH h' (the paper's axes are in hours)."""
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def format_pct(fraction: float) -> str:
+    """Fraction → 'NN.N%'."""
+    return f"{100.0 * fraction:.1f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are formatted with 4 significant decimals; everything else via
+    ``str``.  Returns the table as a string (callers print it so pytest -s
+    shows the reproduced figure data).
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,44 @@
+"""Assimilator interface (BOINC's assimilator service, §II-C / §III-A).
+
+In the paper, the parameter server is "built on top of BOINC's configurable
+assimilator process": when a valid result arrives, BOINC invokes the
+assimilator, which applies the VC-ASGD update.  The BOINC layer only knows
+this protocol; the concrete implementation (the multi-parameter-server
+pool) lives in :mod:`repro.core.param_server`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .workunit import Workunit
+
+__all__ = ["Assimilator", "CallbackAssimilator"]
+
+
+class Assimilator(Protocol):
+    """Consumes validated results."""
+
+    def assimilate(
+        self, workunit: Workunit, payload: object, on_done: Callable[[], None]
+    ) -> None:
+        """Process ``payload`` for ``workunit``; call ``on_done`` when the
+        server-side processing (parameter merge + validation pass) ends."""
+        ...
+
+
+class CallbackAssimilator:
+    """Trivial assimilator wrapping a plain function — used by tests and by
+    applications that do not need the parameter-server machinery."""
+
+    def __init__(self, fn: Callable[[Workunit, object], None]) -> None:
+        self.fn = fn
+        self.count = 0
+
+    def assimilate(
+        self, workunit: Workunit, payload: object, on_done: Callable[[], None]
+    ) -> None:
+        """Invoke the wrapped function and complete immediately."""
+        self.fn(workunit, payload)
+        self.count += 1
+        on_done()

@@ -1,0 +1,202 @@
+"""Client daemon: the volunteer node's side of the protocol (§II-C, §III).
+
+Each client owns a processor-sharing compute resource, a WAN link, and a
+sticky-file cache.  Its life is a loop:
+
+1. when execution slots are free, request work from the scheduler;
+2. for each granted workunit, download the input files (model spec,
+   current server parameters, data shard) from the web server;
+3. execute the training subtask on the compute resource (real NumPy
+   training, simulated duration);
+4. upload the resulting parameter file;
+5. go to 1.
+
+Preemption (:meth:`ClientDaemon.terminate`) kills the machine mid-flight;
+recovery is entirely the scheduler's timeout/reissue machinery — the
+client does not (and on a reclaimed cloud instance, cannot) clean up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..simulation.engine import Simulator
+from ..simulation.network import NetworkLink
+from ..simulation.resources import ComputeResource, ComputeTask, InstanceSpec
+from ..simulation.tracing import Trace
+from .files import StickyCache, WebServer
+from .scheduler import Scheduler
+from .workunit import Workunit
+
+__all__ = ["TaskExecutor", "ClientDaemon"]
+
+# The application hook: given the workunit and its downloaded input
+# payloads, run the actual training and return (result_payload, nbytes).
+TaskExecutor = Callable[[Workunit, dict[str, object]], tuple[object, int]]
+
+
+class ClientDaemon:
+    """One volunteer/preemptible client instance."""
+
+    def __init__(
+        self,
+        client_id: str,
+        sim: Simulator,
+        spec: InstanceSpec,
+        scheduler: Scheduler,
+        web: WebServer,
+        executor: TaskExecutor,
+        max_concurrent: int,
+        link: NetworkLink | None = None,
+        rng: np.random.Generator | None = None,
+        cache_capacity_bytes: float = 8e9,
+        trace: Trace | None = None,
+    ) -> None:
+        if max_concurrent <= 0:
+            raise SimulationError("max_concurrent (Tn) must be positive")
+        self.client_id = client_id
+        self.sim = sim
+        self.spec = spec
+        self.scheduler = scheduler
+        self.web = web
+        self.executor = executor
+        self.max_concurrent = max_concurrent
+        self.link = link if link is not None else spec.default_link()
+        self.rng = rng
+        self.cache = StickyCache(cache_capacity_bytes)
+        self.trace = trace
+        self.resource = ComputeResource(sim, spec, name=f"cpu:{client_id}")
+        self.alive = True
+        self._in_flight: dict[str, ComputeTask | None] = {}  # wu_id -> compute task
+        self._backoff_retry = None  # pending retry event during backoff
+        self._heartbeats: dict[str, object] = {}  # wu_id -> pending heartbeat event
+        self.subtasks_completed = 0
+        self.subtasks_aborted = 0
+        scheduler.register_client(client_id)
+
+    # -- work acquisition ---------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        """Execution slots not currently holding a subtask (Tn − in flight)."""
+        return self.max_concurrent - len(self._in_flight)
+
+    def poll_for_work(self) -> None:
+        """Ask the scheduler for work up to the free slot count."""
+        if not self.alive or self.free_slots <= 0:
+            return
+        granted = self.scheduler.request_work(
+            self.client_id, self.cache.cached_names(), self.free_slots
+        )
+        if not granted:
+            self._schedule_backoff_retry()
+        for wu in granted:
+            self._in_flight[wu.wu_id] = None  # slot reserved; no compute yet
+            self._start_download(wu)
+
+    def _schedule_backoff_retry(self) -> None:
+        """If work exists but we are in failure backoff, retry at expiry.
+
+        Without this, a fleet where every client is backing off would never
+        wake up again (no future event would trigger a poll).
+        """
+        if self.scheduler.unsent_count() == 0:
+            return
+        record = self.scheduler.client(self.client_id)
+        if record.backoff_until <= self.sim.now:
+            return
+        if self._backoff_retry is not None and not self._backoff_retry.cancelled:
+            return
+        delay = record.backoff_until - self.sim.now + 1e-6
+        self._backoff_retry = self.sim.schedule(
+            delay, self._retry_after_backoff, label=f"{self.client_id}:backoff-retry"
+        )
+
+    def _retry_after_backoff(self) -> None:
+        self._backoff_retry = None
+        self.poll_for_work()
+
+    def _start_download(self, wu: Workunit) -> None:
+        def on_downloaded(payloads: dict[str, object]) -> None:
+            if not self.alive or wu.wu_id not in self._in_flight:
+                return  # preempted or aborted while downloading
+            self._start_compute(wu, payloads)
+
+        self.web.download(
+            list(wu.input_files), self.link, self.cache, on_downloaded, self.rng
+        )
+
+    def _start_compute(self, wu: Workunit, payloads: dict[str, object]) -> None:
+        def on_computed() -> None:
+            self._in_flight.pop(wu.wu_id, None)
+            self._stop_heartbeat(wu.wu_id)
+            if not self.alive:
+                return
+            result, nbytes = self.executor(wu, payloads)
+            self._start_upload(wu, result, nbytes)
+
+        task = self.resource.submit(wu.work_units, on_computed, label=wu.wu_id)
+        self._in_flight[wu.wu_id] = task
+        if self.scheduler.config.heartbeats_enabled:
+            self._schedule_heartbeat(wu.wu_id)
+
+    # -- trickle heartbeats (§II-C-style progress reports) -------------------
+    def _schedule_heartbeat(self, wu_id: str) -> None:
+        interval = self.scheduler.config.heartbeat_interval_s
+        self._heartbeats[wu_id] = self.sim.schedule(
+            interval, lambda: self._send_heartbeat(wu_id), label=f"hb:{wu_id}"
+        )
+
+    def _send_heartbeat(self, wu_id: str) -> None:
+        self._heartbeats.pop(wu_id, None)
+        if not self.alive or wu_id not in self._in_flight:
+            return
+        still_valid = self.scheduler.report_heartbeat(wu_id, self.client_id)
+        if still_valid:
+            self._schedule_heartbeat(wu_id)
+
+    def _stop_heartbeat(self, wu_id: str) -> None:
+        handle = self._heartbeats.pop(wu_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _start_upload(self, wu: Workunit, result: object, nbytes: int) -> None:
+        def on_uploaded() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "client.uploaded", wu=wu.wu_id, client=self.client_id
+                )
+            self.subtasks_completed += 1
+            accepted = self.scheduler.report_result(wu.wu_id, self.client_id)
+            if accepted:
+                self._on_result_accepted(wu, result)
+            self.poll_for_work()
+
+        self.web.upload(nbytes, self.link, on_uploaded, self.rng)
+
+    # Server wiring: BoincServer overrides this to route into validation.
+    _on_result_accepted: Callable[[Workunit, object], None] = lambda self, wu, r: None
+
+    # -- abort / preemption ----------------------------------------------------
+    def abort_workunit(self, wu_id: str) -> None:
+        """Scheduler timed the unit out elsewhere — stop wasting cycles."""
+        task = self._in_flight.pop(wu_id, None)
+        self._stop_heartbeat(wu_id)
+        if isinstance(task, ComputeTask):
+            self.resource.cancel(task)
+        self.subtasks_aborted += 1
+
+    def terminate(self) -> None:
+        """Instance reclaimed (preemption) or crashed: drop everything."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.resource.terminate()
+        self._in_flight.clear()
+        for wu_id in list(self._heartbeats):
+            self._stop_heartbeat(wu_id)
+        self.scheduler.report_client_failure(self.client_id)
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "client.terminated", client=self.client_id)

@@ -1,0 +1,198 @@
+"""Server file catalogue, web-server transfers, and sticky-file caching.
+
+§III-B: files (model architecture, parameter copies, data shards, client
+code) are distributed by the BOINC web server.  Two latency optimizations
+from the paper are modelled:
+
+* **compression** — BOINC can gzip a file server-side and decompress on
+  the client; the transfer then charges for the compressed size;
+* **sticky files** — a client keeps named files cached, and the scheduler
+  prefers clients that already hold a workunit's shard file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, SchedulerError
+from ..simulation.engine import Simulator
+from ..simulation.network import NetworkLink
+from ..simulation.tracing import Trace
+
+__all__ = ["ServerFile", "FileCatalog", "StickyCache", "WebServer"]
+
+
+@dataclass
+class ServerFile:
+    """A named file hosted by the BOINC web server.
+
+    ``payload`` is the actual content (bytes or any object the executor
+    understands); ``raw_size``/``compressed_size`` drive the transfer
+    model; ``sticky`` marks it cacheable on clients; ``compressible``
+    says whether the server serves the compressed representation.
+    """
+
+    name: str
+    payload: object
+    raw_size: int
+    compressed_size: int | None = None
+    sticky: bool = False
+    compressible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.raw_size < 0:
+            raise ConfigurationError(f"negative file size for {self.name!r}")
+        if self.compressed_size is None:
+            self.compressed_size = self.raw_size
+
+    def wire_size(self, compression_enabled: bool) -> int:
+        """Bytes actually sent over the network for one download."""
+        if compression_enabled and self.compressible:
+            return int(self.compressed_size)
+        return self.raw_size
+
+
+class FileCatalog:
+    """All files currently published by the server."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, ServerFile] = {}
+
+    def publish(self, file: ServerFile) -> None:
+        """Add or replace a file (parameter files are republished every update)."""
+        self._files[file.name] = file
+
+    def get(self, name: str) -> ServerFile:
+        """Look up a published file; raises SchedulerError if absent."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise SchedulerError(f"file {name!r} not in catalog") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def names(self) -> list[str]:
+        """Sorted names of all published files."""
+        return sorted(self._files)
+
+
+class StickyCache:
+    """Per-client cache of sticky file names (§III-B).
+
+    Capacity is expressed in bytes; eviction is LRU.  The paper's shards
+    are small (3.9 MB), so in practice everything fits, but the bound keeps
+    the model honest for bigger workloads (ImageNet extrapolation).
+    """
+
+    def __init__(self, capacity_bytes: float = 8e9) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: dict[str, int] = {}  # name -> size (insertion order = LRU)
+        self.hits = 0
+        self.misses = 0
+
+    def has(self, name: str) -> bool:
+        """Whether the named file is cached."""
+        return name in self._entries
+
+    def touch(self, name: str) -> None:
+        """Refresh LRU recency of a cached file."""
+        size = self._entries.pop(name)
+        self._entries[name] = size
+
+    def add(self, name: str, size: int) -> None:
+        """Insert a file, evicting least-recently-used entries to fit."""
+        if name in self._entries:
+            self.touch(name)
+            return
+        while self._entries and self.used_bytes + size > self.capacity_bytes:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[name] = size
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._entries.values())
+
+    def cached_names(self) -> set[str]:
+        """Names currently cached (the sticky set sent to the scheduler)."""
+        return set(self._entries)
+
+
+class WebServer:
+    """Transfer engine: moves catalogue files over client links.
+
+    Download/upload durations come from the client's
+    :class:`~repro.simulation.network.NetworkLink`; completion is signalled
+    via callback on the shared simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        catalog: FileCatalog,
+        compression_enabled: bool = True,
+        trace: Trace | None = None,
+    ) -> None:
+        self.sim = sim
+        self.catalog = catalog
+        self.compression_enabled = compression_enabled
+        self.trace = trace
+        self.bytes_down = 0
+        self.bytes_up = 0
+
+    def download(
+        self,
+        names: list[str],
+        link: NetworkLink,
+        cache: StickyCache | None,
+        on_done,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, object]:
+        """Fetch ``names`` for a client; fire ``on_done(payloads)`` when done.
+
+        Cached sticky files cost nothing; the rest are transferred
+        back-to-back over the link.  Returns the payload dict immediately
+        for callers that only need the data (tests), but the callback is
+        the simulation-correct signal.
+        """
+        total_time = 0.0
+        payloads: dict[str, object] = {}
+        for name in names:
+            file = self.catalog.get(name)
+            payloads[name] = file.payload
+            if cache is not None and file.sticky and cache.has(name):
+                cache.touch(name)
+                cache.hits += 1
+                continue
+            wire = file.wire_size(self.compression_enabled)
+            total_time += link.transfer_time(wire, rng, now=self.sim.now)
+            self.bytes_down += wire
+            if cache is not None:
+                cache.misses += 1
+                if file.sticky:
+                    cache.add(name, wire)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "web.download", files=list(names), seconds=total_time
+            )
+        self.sim.schedule(total_time, lambda: on_done(payloads), label="web:download")
+        return payloads
+
+    def upload(
+        self,
+        nbytes: int,
+        link: NetworkLink,
+        on_done,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Client → server transfer of a result file of ``nbytes``."""
+        seconds = link.transfer_time(nbytes, rng, now=self.sim.now)
+        self.bytes_up += nbytes
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "web.upload", nbytes=nbytes, seconds=seconds)
+        self.sim.schedule(seconds, on_done, label="web:upload")

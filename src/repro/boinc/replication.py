@@ -1,0 +1,163 @@
+"""Workunit replication with quorum validation (§II-C).
+
+BOINC "allows a workunit to be replicated on multiple clients to create
+computational redundancy, which can help with fault tolerance and
+verification of results."  In BOINC terms a workunit has
+``target_nresults`` replicas and a ``min_quorum``; the validator declares a
+*canonical result* once enough replicas agree.
+
+Training results are floating-point parameter vectors, so agreement is
+fuzzy: two results agree when their relative L2 distance is below a
+tolerance (deterministic replicas agree exactly; a corrupted or malicious
+replica does not).  The coordinator sits between the BOINC server and the
+real assimilator:
+
+* the work generator mints ``replicas`` physical workunits per logical
+  subtask (ids suffixed ``#r<k>``);
+* each validated replica result lands here instead of the parameter
+  server;
+* when ``min_quorum`` mutually-agreeing results exist, ONE canonical
+  result is forwarded to the inner assimilator; later replicas of the
+  same logical unit are discarded (BOINC cancels or ignores them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..simulation.tracing import Trace
+from .assimilator import Assimilator
+from .workunit import Workunit
+
+__all__ = ["logical_id", "replica_id", "QuorumConfig", "QuorumAssimilator"]
+
+_SEPARATOR = "#r"
+
+
+def replica_id(wu_id: str, replica: int) -> str:
+    """Physical workunit id of replica ``replica`` of logical unit ``wu_id``."""
+    return f"{wu_id}{_SEPARATOR}{replica}"
+
+
+def logical_id(physical_id: str) -> str:
+    """Strip the replica suffix (identity for unreplicated ids)."""
+    base, sep, _ = physical_id.rpartition(_SEPARATOR)
+    return base if sep else physical_id
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Replication policy: how many copies, how many must agree."""
+
+    replicas: int = 2
+    min_quorum: int = 2
+    rtol: float = 1e-9  # relative L2 tolerance for "agreement"
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        if not 1 <= self.min_quorum <= self.replicas:
+            raise ConfigurationError(
+                f"min_quorum must be in [1, replicas], got {self.min_quorum}"
+            )
+        if self.rtol < 0:
+            raise ConfigurationError("rtol must be non-negative")
+
+
+@dataclass
+class _LogicalUnit:
+    """Collected replica results for one logical subtask."""
+
+    results: list[tuple[Workunit, np.ndarray]] = field(default_factory=list)
+    decided: bool = False
+
+
+class QuorumAssimilator:
+    """Assimilator wrapper enforcing replica quorum before assimilation."""
+
+    def __init__(
+        self,
+        inner: Assimilator,
+        config: QuorumConfig,
+        trace: Trace | None = None,
+    ) -> None:
+        self.inner = inner
+        self.config = config
+        self.trace = trace
+        self._units: dict[str, _LogicalUnit] = {}
+        self.quorums_reached = 0
+        self.disagreements = 0
+        self.discarded_extras = 0
+        # Hook: called with the logical id when a quorum is reached, so the
+        # server can cancel the still-outstanding sibling replicas (BOINC
+        # aborts redundant results once a canonical one exists).
+        self.on_decided: Callable[[str], None] | None = None
+
+    # -- Assimilator protocol ------------------------------------------------
+    def assimilate(
+        self, workunit: Workunit, payload: object, on_done: Callable[[], None]
+    ) -> None:
+        """Collect one replica result; forward the canonical one on quorum."""
+        key = logical_id(workunit.wu_id)
+        unit = self._units.setdefault(key, _LogicalUnit())
+        if unit.decided:
+            # Canonical result already chosen; BOINC ignores the straggler.
+            self.discarded_extras += 1
+            on_done()
+            return
+        unit.results.append((workunit, np.asarray(payload)))
+        group = self._largest_agreeing_group(unit)
+        if len(group) >= self.config.min_quorum:
+            unit.decided = True
+            self.quorums_reached += 1
+            canonical_wu, canonical_payload = group[0]
+            if self.trace is not None:
+                self.trace.emit(
+                    0.0,
+                    "quorum.reached",
+                    logical=key,
+                    replicas_seen=len(unit.results),
+                )
+            self.inner.assimilate(canonical_wu, canonical_payload, on_done)
+            if self.on_decided is not None:
+                self.on_decided(key)
+            return
+        if len(unit.results) > len(group) and len(unit.results) >= 2:
+            self.disagreements += 1
+        on_done()
+
+    # -- agreement ----------------------------------------------------------
+    def _agrees(self, a: np.ndarray, b: np.ndarray) -> bool:
+        if a.shape != b.shape:
+            return False
+        scale = max(float(np.linalg.norm(a)), float(np.linalg.norm(b)), 1e-30)
+        return float(np.linalg.norm(a - b)) <= self.config.rtol * scale
+
+    def _largest_agreeing_group(
+        self, unit: _LogicalUnit
+    ) -> list[tuple[Workunit, np.ndarray]]:
+        """Largest clique of mutually agreeing results (greedy by anchor:
+        agreement is near-transitive at tight tolerances)."""
+        best: list[tuple[Workunit, np.ndarray]] = []
+        for i, (wu_i, payload_i) in enumerate(unit.results):
+            group = [
+                (wu_j, payload_j)
+                for wu_j, payload_j in unit.results
+                if self._agrees(payload_i, payload_j)
+            ]
+            if len(group) > len(best):
+                best = group
+        return best
+
+    # -- introspection ----------------------------------------------------------
+    def pending_units(self) -> int:
+        """Logical units still waiting for quorum."""
+        return sum(1 for u in self._units.values() if not u.decided)
+
+    def decided_units(self) -> int:
+        """Logical units whose canonical result was chosen."""
+        return sum(1 for u in self._units.values() if u.decided)

@@ -1,0 +1,373 @@
+"""BOINC-like scheduler: workunit assignment, timeouts, reliability (§III-B).
+
+The scheduler is pull-based: clients request work when they have free
+execution slots.  Three policies from the paper are implemented:
+
+* **timeout + reissue** — every issued workunit carries a deadline; when
+  the deadline passes without a result the workunit returns to the unsent
+  queue (fault tolerance against preempted/dead clients);
+* **sticky-file affinity** — among unsent workunits, prefer ones whose
+  data shard the requesting client already caches (avoids re-downloads);
+* **reliability tracking** — per-client EWMA of attempt outcomes; clients
+  below a reliability floor are put on probation (one workunit at a time)
+  so chronically flaky nodes can't hoard work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulerError
+from ..simulation.engine import Simulator
+from ..simulation.events import EventHandle
+from ..simulation.tracing import Trace
+from .replication import logical_id
+from .workunit import Workunit, WorkunitState
+
+__all__ = ["SchedulerConfig", "ClientRecord", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler policy knobs (paper defaults: t_o = 5 min, 5 attempts)."""
+
+    timeout_s: float = 300.0
+    max_attempts: int = 5
+    affinity_enabled: bool = True
+    reliability_enabled: bool = True
+    reliability_decay: float = 0.8  # EWMA weight on history
+    probation_threshold: float = 0.3
+    # Work-fetch backoff after a failure (BOINC clients back off after
+    # errors); doubles per consecutive failure up to the cap.
+    backoff_base_s: float = 60.0
+    backoff_max_s: float = 3600.0
+    # BOINC's replication rule: a host may compute at most one replica of
+    # any logical workunit (redundant results must come from distinct
+    # hosts to be meaningful for verification).
+    one_result_per_host: bool = True
+    # Trickle-style progress heartbeats: a client computing a long subtask
+    # periodically reports progress, and each report slides the deadline
+    # forward (dead clients stop reporting and still time out).  Guards
+    # slow-but-alive heterogeneous nodes against spurious reissues.
+    heartbeats_enabled: bool = False
+    heartbeat_interval_s: float = 60.0
+
+
+@dataclass
+class ClientRecord:
+    """Scheduler-side view of one client."""
+
+    client_id: str
+    reliability: float = 1.0  # optimistic prior, decays on failures
+    assigned: set[str] = field(default_factory=set)  # wu_ids in flight
+    completed: int = 0
+    failed: int = 0
+    consecutive_failures: int = 0
+    backoff_until: float = 0.0  # no work granted before this sim time
+    # Logical workunit ids this host has ever been sent a replica of.
+    seen_logical: set[str] = field(default_factory=set)
+
+
+class Scheduler:
+    """Assigns workunits to clients and polices deadlines."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SchedulerConfig | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or SchedulerConfig()
+        self.trace = trace
+        self._workunits: dict[str, Workunit] = {}
+        self._unsent: list[str] = []  # FIFO of wu_ids ready for assignment
+        self._clients: dict[str, ClientRecord] = {}
+        self._timeout_handles: dict[tuple[str, int], EventHandle] = {}
+        # Hook the server/client layer sets to learn about timeouts so the
+        # executing client can abort the stale task.
+        self.on_timeout = None  # Callable[[str wu_id, str client_id], None]
+        self.timeouts = 0
+        self.reissues = 0
+        self.heartbeats = 0
+        self.cancellations = 0
+
+    # -- registration -----------------------------------------------------
+    def register_client(self, client_id: str) -> ClientRecord:
+        """Fetch-or-create the scheduler-side record for a client."""
+        record = self._clients.get(client_id)
+        if record is None:
+            record = ClientRecord(client_id=client_id)
+            self._clients[client_id] = record
+        return record
+
+    def client(self, client_id: str) -> ClientRecord:
+        """Record of a known client; raises SchedulerError otherwise."""
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise SchedulerError(f"unknown client {client_id!r}") from None
+
+    def add_workunits(self, workunits: list[Workunit]) -> None:
+        """Publish new workunits (one epoch's subtasks)."""
+        for wu in workunits:
+            if wu.wu_id in self._workunits:
+                raise SchedulerError(f"duplicate workunit id {wu.wu_id!r}")
+            wu.created_at = self.sim.now
+            self._workunits[wu.wu_id] = wu
+            self._unsent.append(wu.wu_id)
+
+    def get_workunit(self, wu_id: str) -> Workunit:
+        """Look up a workunit by id; raises SchedulerError if unknown."""
+        try:
+            return self._workunits[wu_id]
+        except KeyError:
+            raise SchedulerError(f"unknown workunit {wu_id!r}") from None
+
+    # -- assignment ---------------------------------------------------------
+    def request_work(
+        self, client_id: str, sticky_names: set[str], max_units: int
+    ) -> list[Workunit]:
+        """Hand out up to ``max_units`` workunits to ``client_id``."""
+        record = self.register_client(client_id)
+        if max_units <= 0:
+            return []
+        if self.sim.now < record.backoff_until:
+            return []
+        if (
+            self.config.reliability_enabled
+            and record.reliability < self.config.probation_threshold
+        ):
+            # Probation: flaky client gets at most one unit at a time.
+            max_units = min(max_units, 1) if not record.assigned else 0
+        granted: list[Workunit] = []
+        while len(granted) < max_units and self._unsent:
+            wu_id = self._pick_unsent(sticky_names, record)
+            if wu_id is None:
+                break  # nothing this host is eligible for
+            wu = self._workunits[wu_id]
+            attempt = wu.mark_sent(client_id, self.sim.now)
+            record.assigned.add(wu_id)
+            record.seen_logical.add(logical_id(wu_id))
+            idx = wu.num_attempts - 1
+            handle = self.sim.schedule(
+                self.config.timeout_s,
+                lambda w=wu, i=idx, c=client_id: self._handle_timeout(w, i, c),
+                label=f"timeout:{wu_id}",
+            )
+            self._timeout_handles[(wu_id, idx)] = handle
+            granted.append(wu)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "sched.assign",
+                    wu=wu.wu_id,
+                    client=client_id,
+                    attempt=idx,
+                )
+        return granted
+
+    def _pick_unsent(
+        self, sticky_names: set[str], record: ClientRecord
+    ) -> str | None:
+        """Choose the next workunit the host is eligible for.
+
+        Honours sticky-file affinity first, then FIFO.  With
+        ``one_result_per_host``, a host is skipped for replicas of logical
+        units it has already been sent (a timed-out host retrying its own
+        unit is still allowed — it holds the only replica).
+        """
+        eligible_positions = [
+            pos
+            for pos, wu_id in enumerate(self._unsent)
+            if self._eligible(wu_id, record)
+        ]
+        if not eligible_positions:
+            return None
+        if self.config.affinity_enabled and sticky_names:
+            for pos in eligible_positions:
+                wu_id = self._unsent[pos]
+                if self._workunits[wu_id].shard_file() in sticky_names:
+                    return self._unsent.pop(pos)
+        return self._unsent.pop(eligible_positions[0])
+
+    def _eligible(self, wu_id: str, record: ClientRecord) -> bool:
+        if not self.config.one_result_per_host:
+            return True
+        logical = logical_id(wu_id)
+        if logical not in record.seen_logical:
+            return True
+        # Retrying the exact same physical unit (after its own timeout) is
+        # allowed; computing a *sibling* replica is not.
+        wu = self._workunits[wu_id]
+        return any(a.client_id == record.client_id for a in wu.attempts)
+
+    # -- result / failure reporting ------------------------------------------
+    def report_result(self, wu_id: str, client_id: str) -> bool:
+        """A result file arrived.  Returns False if it is stale (the attempt
+        already timed out and the unit was reissued) — stale results are
+        discarded, as BOINC does once a workunit has been handed elsewhere."""
+        wu = self.get_workunit(wu_id)
+        record = self.register_client(client_id)
+        record.assigned.discard(wu_id)
+        if wu.state is not WorkunitState.IN_PROGRESS or wu.current_attempt.client_id != client_id:
+            self._bump_reliability(record, success=False)
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "sched.stale_result", wu=wu_id, client=client_id)
+            return False
+        idx = wu.num_attempts - 1
+        handle = self._timeout_handles.pop((wu_id, idx), None)
+        if handle is not None:
+            handle.cancel()
+        wu.mark_result_received(self.sim.now)
+        record.completed += 1
+        self._bump_reliability(record, success=True)
+        return True
+
+    def report_heartbeat(self, wu_id: str, client_id: str) -> bool:
+        """Progress report from a client still computing ``wu_id``.
+
+        Slides the attempt's deadline to ``now + timeout_s``.  Returns False
+        (and changes nothing) when the report is stale — the unit already
+        timed out, completed, or belongs to another client now.
+        """
+        if not self.config.heartbeats_enabled:
+            return False
+        wu = self.get_workunit(wu_id)
+        if (
+            wu.state is not WorkunitState.IN_PROGRESS
+            or wu.current_attempt.client_id != client_id
+        ):
+            return False
+        idx = wu.num_attempts - 1
+        handle = self._timeout_handles.pop((wu_id, idx), None)
+        if handle is not None:
+            handle.cancel()
+        wu.current_attempt.deadline = self.sim.now + self.config.timeout_s
+        self._timeout_handles[(wu_id, idx)] = self.sim.schedule(
+            self.config.timeout_s,
+            lambda w=wu, i=idx, c=client_id: self._handle_timeout(w, i, c),
+            label=f"timeout:{wu_id}",
+        )
+        self.heartbeats += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "sched.heartbeat", wu=wu_id, client=client_id)
+        return True
+
+    def report_client_failure(self, client_id: str) -> list[Workunit]:
+        """Client died (preemption/crash): fail all its in-flight workunits.
+
+        Returns the workunits that were requeued so the caller can observe
+        them; exhausted ones land in ERROR.
+        """
+        record = self.register_client(client_id)
+        requeued: list[Workunit] = []
+        for wu_id in sorted(record.assigned):
+            wu = self._workunits[wu_id]
+            if wu.state is not WorkunitState.IN_PROGRESS:
+                continue
+            idx = wu.num_attempts - 1
+            handle = self._timeout_handles.pop((wu_id, idx), None)
+            if handle is not None:
+                handle.cancel()
+            if wu.mark_client_error(self.sim.now):
+                self._unsent.append(wu_id)
+                self.reissues += 1
+                requeued.append(wu)
+            record.failed += 1
+            self._bump_reliability(record, success=False)
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "sched.client_error", wu=wu_id, client=client_id)
+        record.assigned.clear()
+        return requeued
+
+    def cancel_workunit(self, wu_id: str) -> str | None:
+        """Server-side abort of a pending/running workunit.
+
+        Returns the client id that was computing it (so the server can tell
+        that client to stop), or None if it was unsent or already terminal.
+        """
+        wu = self.get_workunit(wu_id)
+        if wu.is_terminal or wu.state is WorkunitState.VALIDATING:
+            return None
+        computing_client: str | None = None
+        if wu.state is WorkunitState.IN_PROGRESS:
+            computing_client = wu.current_attempt.client_id
+            idx = wu.num_attempts - 1
+            handle = self._timeout_handles.pop((wu_id, idx), None)
+            if handle is not None:
+                handle.cancel()
+            self.register_client(computing_client).assigned.discard(wu_id)
+        else:  # UNSENT: pull it out of the queue
+            try:
+                self._unsent.remove(wu_id)
+            except ValueError:
+                pass
+        wu.mark_cancelled(self.sim.now)
+        self.cancellations += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "sched.cancelled", wu=wu_id)
+        return computing_client
+
+    def requeue_after_invalid(self, wu_id: str) -> bool:
+        """Validator rejected the result; retry if budget remains."""
+        wu = self.get_workunit(wu_id)
+        retry = wu.mark_invalid(self.sim.now)
+        if retry:
+            self._unsent.append(wu_id)
+            self.reissues += 1
+        return retry
+
+    # -- timeouts ---------------------------------------------------------
+    def _handle_timeout(self, wu: Workunit, attempt_idx: int, client_id: str) -> None:
+        self._timeout_handles.pop((wu.wu_id, attempt_idx), None)
+        if wu.state is not WorkunitState.IN_PROGRESS or wu.num_attempts - 1 != attempt_idx:
+            return  # result arrived and was processed first
+        record = self.register_client(client_id)
+        record.assigned.discard(wu.wu_id)
+        record.failed += 1
+        self._bump_reliability(record, success=False)
+        self.timeouts += 1
+        if wu.mark_timeout(self.sim.now):
+            self._unsent.append(wu.wu_id)
+            self.reissues += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "sched.timeout", wu=wu.wu_id, client=client_id)
+        if self.on_timeout is not None:
+            self.on_timeout(wu.wu_id, client_id)
+
+    def _bump_reliability(self, record: ClientRecord, success: bool) -> None:
+        if self.config.reliability_enabled:
+            d = self.config.reliability_decay
+            record.reliability = (
+                d * record.reliability + (1.0 - d) * (1.0 if success else 0.0)
+            )
+        if success:
+            record.consecutive_failures = 0
+            record.backoff_until = 0.0
+        else:
+            delay = min(
+                self.config.backoff_base_s * 2.0**record.consecutive_failures,
+                self.config.backoff_max_s,
+            )
+            record.consecutive_failures += 1
+            record.backoff_until = self.sim.now + delay
+
+    # -- stats ----------------------------------------------------------------
+    def unsent_count(self) -> int:
+        """Workunits currently queued for assignment."""
+        return len(self._unsent)
+
+    def in_progress_count(self) -> int:
+        """Workunits currently executing on some client."""
+        return sum(
+            1 for wu in self._workunits.values() if wu.state is WorkunitState.IN_PROGRESS
+        )
+
+    def terminal_count(self) -> int:
+        """Workunits in a terminal state (done/error/cancelled)."""
+        return sum(1 for wu in self._workunits.values() if wu.is_terminal)
+
+    def all_terminal(self) -> bool:
+        """True when every published workunit reached a terminal state."""
+        return all(wu.is_terminal for wu in self._workunits.values())

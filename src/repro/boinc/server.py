@@ -1,0 +1,100 @@
+"""BOINC server composition: scheduler + web server + validator + assimilator.
+
+Mirrors Fig. 1 of the paper: one server instance hosts the scheduler, the
+web/file services, and the assimilation pipeline; clients only ever talk to
+the server (no peer-to-peer, as §II-A notes is impractical for VC).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..simulation.engine import Simulator
+from ..simulation.tracing import Trace
+from .assimilator import Assimilator
+from .client import ClientDaemon
+from .credit import CreditClaim, CreditLedger
+from .files import FileCatalog, WebServer
+from .scheduler import Scheduler, SchedulerConfig
+from .validator import ParameterValidator
+from .workunit import Workunit
+
+__all__ = ["BoincServer"]
+
+
+class BoincServer:
+    """The server side of the volunteer-computing system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        assimilator: Assimilator,
+        validator: ParameterValidator,
+        scheduler_config: SchedulerConfig | None = None,
+        compression_enabled: bool = True,
+        credit_ledger: CreditLedger | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.catalog = FileCatalog()
+        self.web = WebServer(sim, self.catalog, compression_enabled, trace=self.trace)
+        self.scheduler = Scheduler(sim, scheduler_config, trace=self.trace)
+        self.validator = validator
+        self.assimilator = assimilator
+        self.credit = credit_ledger if credit_ledger is not None else CreditLedger()
+        self.clients: dict[str, ClientDaemon] = {}
+        self.scheduler.on_timeout = self._notify_timeout
+        # Invoked after every assimilation completes; the job runner uses it
+        # to detect epoch boundaries.
+        self.on_assimilated: Callable[[Workunit], None] | None = None
+
+    # -- client management -------------------------------------------------
+    def attach_client(self, client: ClientDaemon) -> None:
+        """Register a client daemon and wire its result path through us."""
+        self.clients[client.client_id] = client
+        client._on_result_accepted = self._handle_accepted_result
+
+    def poke_clients(self) -> None:
+        """Tell all live clients new work may be available."""
+        for client in self.clients.values():
+            if client.alive:
+                client.poll_for_work()
+
+    def publish_workunits(self, workunits: list[Workunit]) -> None:
+        """Add workunits to the scheduler and wake the fleet."""
+        self.scheduler.add_workunits(workunits)
+        self.poke_clients()
+
+    # -- result path -----------------------------------------------------------
+    def _handle_accepted_result(self, wu: Workunit, payload: object) -> None:
+        host = wu.current_attempt.client_id
+        verdict = self.validator.validate(payload, now=self.sim.now)
+        if not verdict.ok:
+            self.trace.emit(
+                self.sim.now, "server.invalid_result", wu=wu.wu_id, reason=verdict.reason
+            )
+            self.credit.deny(host, now=self.sim.now)
+            retried = self.scheduler.requeue_after_invalid(wu.wu_id)
+            if retried:
+                self.poke_clients()
+            return
+        self.credit.grant_single(
+            CreditClaim(host_id=host, wu_id=wu.wu_id, claimed=wu.work_units),
+            now=self.sim.now,
+        )
+        wu.mark_valid(self.sim.now, result=None)  # payload flows to assimilator
+
+        def assimilation_done() -> None:
+            self.trace.emit(self.sim.now, "server.assimilated", wu=wu.wu_id, epoch=wu.epoch)
+            if self.on_assimilated is not None:
+                self.on_assimilated(wu)
+
+        self.assimilator.assimilate(wu, payload, assimilation_done)
+
+    def _notify_timeout(self, wu_id: str, client_id: str) -> None:
+        client = self.clients.get(client_id)
+        if client is not None and client.alive:
+            client.abort_workunit(wu_id)
+        # The reissued unit should be picked up promptly by someone else.
+        self.poke_clients()

@@ -1,0 +1,69 @@
+"""Result validation (BOINC's validator service, §II-C).
+
+Before a result is assimilated, the validator checks that the uploaded
+parameter payload is structurally sound: decodable, shape-complete against
+the job's parameter template, and finite (a client that diverged to
+NaN/inf must not poison the server copy).  Invalid results are rejected
+and the workunit is reissued by the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulation.tracing import Trace
+
+__all__ = ["ValidationResult", "ParameterValidator"]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one uploaded result."""
+
+    ok: bool
+    reason: str = ""
+
+
+class ParameterValidator:
+    """Validates uploaded parameter vectors against a template."""
+
+    def __init__(
+        self,
+        expected_size: int,
+        max_abs_value: float = 1e6,
+        trace: Trace | None = None,
+    ) -> None:
+        self.expected_size = expected_size
+        self.max_abs_value = max_abs_value
+        self.trace = trace
+        self.accepted = 0
+        self.rejected = 0
+
+    def validate(self, payload: object, now: float = 0.0) -> ValidationResult:
+        """Check one uploaded result payload (a flat parameter vector)."""
+        result = self._check(payload)
+        if result.ok:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        if self.trace is not None:
+            self.trace.emit(now, "validator.checked", ok=result.ok, reason=result.reason)
+        return result
+
+    def _check(self, payload: object) -> ValidationResult:
+        if not isinstance(payload, np.ndarray):
+            return ValidationResult(False, f"payload type {type(payload).__name__}")
+        if payload.ndim != 1:
+            return ValidationResult(False, f"expected flat vector, got ndim={payload.ndim}")
+        if payload.size != self.expected_size:
+            return ValidationResult(
+                False, f"size {payload.size} != expected {self.expected_size}"
+            )
+        if not np.isfinite(payload).all():
+            return ValidationResult(False, "non-finite parameter values")
+        peak = float(np.abs(payload).max()) if payload.size else 0.0
+        if peak > self.max_abs_value:
+            return ValidationResult(False, f"parameter magnitude {peak:.3g} exceeds bound")
+        return ValidationResult(True)

@@ -1,0 +1,126 @@
+"""Work generator: turns a training job into per-epoch workunits (§III-A).
+
+"The work generator component splits a single DL training job into multiple
+training subtasks": it shards the dataset once, publishes the shard files
+and the model-architecture file (both sticky — cached on clients), and at
+each epoch mints one workunit per shard referencing the *current* server
+parameter file (not sticky — refreshed every assimilation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.sharding import split_dataset
+from ..errors import ConfigurationError
+from .files import FileCatalog, ServerFile
+from .replication import replica_id
+from .workunit import Workunit
+
+__all__ = ["WorkGenerator"]
+
+
+class WorkGenerator:
+    """Creates and publishes training subtasks for one job."""
+
+    def __init__(
+        self,
+        job_id: str,
+        catalog: FileCatalog,
+        train_set: Dataset,
+        num_shards: int,
+        model_spec_json: str,
+        timeout_s: float,
+        work_units_per_subtask: float = 144.0,
+        work_jitter: float = 0.10,
+        max_attempts: int = 5,
+        rng: np.random.Generator | None = None,
+        compress_shards: bool = True,
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if work_units_per_subtask <= 0:
+            raise ConfigurationError("work_units_per_subtask must be positive")
+        self.job_id = job_id
+        self.catalog = catalog
+        self.num_shards = num_shards
+        self.timeout_s = timeout_s
+        self.work_units_per_subtask = work_units_per_subtask
+        self.work_jitter = work_jitter
+        self.max_attempts = max_attempts
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.shards = split_dataset(train_set, num_shards, rng=self.rng, strategy="shuffled")
+        self.model_file_name = f"{job_id}:model.json"
+        self._publish_static(model_spec_json, compress_shards)
+
+    def _publish_static(self, model_spec_json: str, compress_shards: bool) -> None:
+        """Publish the architecture file and all data shards (sticky)."""
+        spec_bytes = model_spec_json.encode()
+        self.catalog.publish(
+            ServerFile(
+                name=self.model_file_name,
+                payload=model_spec_json,
+                raw_size=len(spec_bytes),
+                compressed_size=max(1, len(spec_bytes) // 3),
+                sticky=True,
+            )
+        )
+        for shard in self.shards:
+            raw = shard.to_bytes(compress=False)
+            compressed = shard.to_bytes(compress=True) if compress_shards else raw
+            self.catalog.publish(
+                ServerFile(
+                    name=f"{self.job_id}:{shard.name}",
+                    payload=shard,
+                    raw_size=len(raw),
+                    compressed_size=len(compressed),
+                    sticky=True,
+                )
+            )
+
+    def shard_file_name(self, shard_index: int) -> str:
+        """Catalogue name of the data-shard file for one shard index."""
+        return f"{self.job_id}:{self.shards[shard_index].name}"
+
+    def make_epoch(
+        self, epoch: int, param_file_name: str, replicas: int = 1
+    ) -> list[Workunit]:
+        """Mint workunits for ``epoch``: one logical subtask per shard,
+        ``replicas`` physical workunits per subtask (§II-C redundancy).
+
+        ``param_file_name`` is the catalogue entry holding the server
+        parameter copy the clients should start from.  Per-subtask compute
+        cost gets a small lognormal jitter (real subtasks are never exactly
+        equal); draws are consumed in shard order so runs are reproducible.
+        """
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        workunits: list[Workunit] = []
+        for shard_index in range(self.num_shards):
+            jitter = (
+                float(self.rng.lognormal(mean=0.0, sigma=self.work_jitter))
+                if self.work_jitter > 0
+                else 1.0
+            )
+            base_id = f"{self.job_id}:e{epoch:03d}:s{shard_index:03d}"
+            for replica in range(replicas):
+                workunits.append(
+                    Workunit(
+                        wu_id=base_id if replicas == 1 else replica_id(base_id, replica),
+                        job_id=self.job_id,
+                        epoch=epoch,
+                        shard_index=shard_index,
+                        input_files=(
+                            self.model_file_name,
+                            param_file_name,
+                            self.shard_file_name(shard_index),
+                        ),
+                        work_units=self.work_units_per_subtask * jitter,
+                        timeout_s=self.timeout_s,
+                        max_attempts=self.max_attempts,
+                    )
+                )
+        return workunits

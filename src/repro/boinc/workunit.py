@@ -1,0 +1,163 @@
+"""Workunit state machine (BOINC terminology, §II-C).
+
+A *workunit* is one training subtask: an epoch number, a data-shard index,
+and the names of the input files the client must fetch.  BOINC's fault
+tolerance lives in this state machine: a workunit sent to a client that
+never reports back is timed out and reissued, up to a retry budget.
+
+States::
+
+    UNSENT ──send──► IN_PROGRESS ──result──► VALIDATING ──ok──► DONE
+       ▲                  │                        │
+       └────timeout───────┘                        └─invalid─► UNSENT (retry)
+       └────client error / preemption──────────────────────────┘
+
+After ``max_attempts`` failed attempts the workunit enters ERROR and the
+epoch completes without it (VC-ASGD tolerates missing updates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import WorkunitError
+
+__all__ = ["WorkunitState", "Attempt", "Workunit"]
+
+
+class WorkunitState(enum.Enum):
+    UNSENT = "unsent"
+    IN_PROGRESS = "in_progress"
+    VALIDATING = "validating"
+    DONE = "done"
+    ERROR = "error"
+    # Server-side abort: a sibling replica reached quorum first, so this
+    # copy's computation is no longer needed (BOINC cancels such results).
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Attempt:
+    """One issuance of a workunit to a client."""
+
+    client_id: str
+    sent_at: float
+    deadline: float
+    finished_at: float | None = None
+    outcome: str = "pending"  # pending | success | timeout | client_error | invalid
+
+
+@dataclass
+class Workunit:
+    """A training subtask flowing through the BOINC server."""
+
+    wu_id: str
+    job_id: str
+    epoch: int
+    shard_index: int
+    input_files: tuple[str, ...]
+    work_units: float  # abstract compute cost (see InstanceSpec docs)
+    timeout_s: float
+    max_attempts: int = 5
+    state: WorkunitState = WorkunitState.UNSENT
+    attempts: list[Attempt] = field(default_factory=list)
+    result: Any = None
+    created_at: float = 0.0
+    completed_at: float | None = None
+
+    # -- transitions ------------------------------------------------------
+    def mark_sent(self, client_id: str, now: float) -> Attempt:
+        """UNSENT → IN_PROGRESS: record the attempt and its deadline."""
+        self._require(WorkunitState.UNSENT, "mark_sent")
+        if len(self.attempts) >= self.max_attempts:
+            raise WorkunitError(f"{self.wu_id}: attempt budget exhausted")
+        attempt = Attempt(client_id=client_id, sent_at=now, deadline=now + self.timeout_s)
+        self.attempts.append(attempt)
+        self.state = WorkunitState.IN_PROGRESS
+        return attempt
+
+    def mark_result_received(self, now: float) -> None:
+        """IN_PROGRESS → VALIDATING (result uploaded, awaiting validation)."""
+        self._require(WorkunitState.IN_PROGRESS, "mark_result_received")
+        self.current_attempt.finished_at = now
+        self.state = WorkunitState.VALIDATING
+
+    def mark_valid(self, now: float, result: Any) -> None:
+        """VALIDATING → DONE."""
+        self._require(WorkunitState.VALIDATING, "mark_valid")
+        self.current_attempt.outcome = "success"
+        self.result = result
+        self.completed_at = now
+        self.state = WorkunitState.DONE
+
+    def mark_invalid(self, now: float) -> bool:
+        """VALIDATING → UNSENT (retry) or ERROR. Returns True if retryable."""
+        self._require(WorkunitState.VALIDATING, "mark_invalid")
+        self.current_attempt.outcome = "invalid"
+        return self._retry_or_error()
+
+    def mark_timeout(self, now: float) -> bool:
+        """IN_PROGRESS → UNSENT (retry) or ERROR. Returns True if retryable."""
+        self._require(WorkunitState.IN_PROGRESS, "mark_timeout")
+        self.current_attempt.finished_at = now
+        self.current_attempt.outcome = "timeout"
+        return self._retry_or_error()
+
+    def mark_client_error(self, now: float) -> bool:
+        """IN_PROGRESS → UNSENT (retry) or ERROR (client died/preempted)."""
+        self._require(WorkunitState.IN_PROGRESS, "mark_client_error")
+        self.current_attempt.finished_at = now
+        self.current_attempt.outcome = "client_error"
+        return self._retry_or_error()
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def current_attempt(self) -> Attempt:
+        if not self.attempts:
+            raise WorkunitError(f"{self.wu_id}: no attempts recorded")
+        return self.attempts[-1]
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    def mark_cancelled(self, now: float) -> None:
+        """UNSENT/IN_PROGRESS → CANCELLED (server-side abort)."""
+        if self.state not in (WorkunitState.UNSENT, WorkunitState.IN_PROGRESS):
+            raise WorkunitError(
+                f"{self.wu_id}: cannot cancel from state {self.state.value}"
+            )
+        if self.state is WorkunitState.IN_PROGRESS:
+            self.current_attempt.finished_at = now
+            self.current_attempt.outcome = "cancelled"
+        self.completed_at = now
+        self.state = WorkunitState.CANCELLED
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in (
+            WorkunitState.DONE,
+            WorkunitState.ERROR,
+            WorkunitState.CANCELLED,
+        )
+
+    def shard_file(self) -> str:
+        """The data-shard file name (by convention the last input file)."""
+        return self.input_files[-1]
+
+    # -- internals ----------------------------------------------------------
+    def _retry_or_error(self) -> bool:
+        if len(self.attempts) < self.max_attempts:
+            self.state = WorkunitState.UNSENT
+            return True
+        self.state = WorkunitState.ERROR
+        return False
+
+    def _require(self, expected: WorkunitState, op: str) -> None:
+        if self.state is not expected:
+            raise WorkunitError(
+                f"{self.wu_id}: {op} requires state {expected.value}, "
+                f"currently {self.state.value}"
+            )

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute a distributed training job (the full VC pipeline) and print
+    per-epoch progress.  Supports preemption injection, replication,
+    autoscaling, warm start and checkpointing.
+``single``
+    Run the serial single-instance baseline on the same workload.
+``cost``
+    Print the §IV-E fleet cost table (standard vs preemptible).
+``preempt-model``
+    Print the §IV-E expected-delay table for a job shape.
+``alpha-study``
+    Quick α sweep at a chosen P/C/T.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Sequence
+
+from .analysis import format_hours, render_table
+from .cloud import PricingClass, paper_p5c5t2_fleet
+from .core import (
+    ConstantAlpha,
+    FaultConfig,
+    RunResult,
+    TrainingJobConfig,
+    VarAlpha,
+    run_experiment,
+)
+from .core.baselines import run_single_instance
+from .core.checkpoint import load_checkpoint, save_checkpoint
+from .core.runner import DistributedRunner
+from .simulation import BernoulliSubtaskModel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed DL on a volunteer-computing-like paradigm "
+        "(paper reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a distributed training job")
+    run_p.add_argument("--servers", "-p", type=int, default=3, help="Pn")
+    run_p.add_argument("--clients", "-c", type=int, default=3, help="Cn")
+    run_p.add_argument("--concurrency", "-t", type=int, default=2, help="Tn")
+    run_p.add_argument("--epochs", type=int, default=10)
+    run_p.add_argument("--shards", type=int, default=50)
+    run_p.add_argument(
+        "--alpha",
+        default="var",
+        help="constant alpha in (0,1] or 'var' for alpha_e = e/(e+1)",
+    )
+    run_p.add_argument("--target", type=float, default=None, help="stop accuracy")
+    run_p.add_argument("--store", choices=["eventual", "strong"], default="eventual")
+    run_p.add_argument(
+        "--preempt-p", type=float, default=0.0, help="hourly interruption probability"
+    )
+    run_p.add_argument("--replicas", type=int, default=1)
+    run_p.add_argument("--quorum", type=int, default=None)
+    run_p.add_argument("--autoscale", action="store_true")
+    run_p.add_argument("--warm-start", type=int, default=0, metavar="PASSES")
+    run_p.add_argument("--seed", type=int, default=1234)
+    run_p.add_argument("--checkpoint-out", default=None, metavar="FILE")
+    run_p.add_argument("--resume", default=None, metavar="FILE")
+
+    single_p = sub.add_parser("single", help="serial single-instance baseline")
+    single_p.add_argument("--epochs", type=int, default=10)
+    single_p.add_argument("--seed", type=int, default=1234)
+    single_p.add_argument("--target", type=float, default=None)
+
+    cost_p = sub.add_parser("cost", help="fleet cost table (SecIV-E)")
+    cost_p.add_argument("--hours", type=float, default=8.0)
+
+    model_p = sub.add_parser("preempt-model", help="expected-delay table (SecIV-E)")
+    model_p.add_argument("--subtasks", type=int, default=2000)
+    model_p.add_argument("--clients", type=int, default=5)
+    model_p.add_argument("--concurrency", type=int, default=2)
+    model_p.add_argument("--exec-min", type=float, default=2.4)
+    model_p.add_argument("--timeout-min", type=float, default=5.0)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="grid sweep over Pn/Cn/Tn (comma-separated values)"
+    )
+    sweep_p.add_argument("--servers", "-p", default="1,3", help="e.g. 1,3,5")
+    sweep_p.add_argument("--clients", "-c", default="3")
+    sweep_p.add_argument("--concurrency", "-t", default="2,4")
+    sweep_p.add_argument("--epochs", type=int, default=5)
+    sweep_p.add_argument("--shards", type=int, default=25)
+    sweep_p.add_argument("--alpha", default="0.95")
+    sweep_p.add_argument("--seed", type=int, default=1234)
+
+    alpha_p = sub.add_parser("alpha-study", help="quick alpha sweep")
+    alpha_p.add_argument("--servers", "-p", type=int, default=3)
+    alpha_p.add_argument("--clients", "-c", type=int, default=3)
+    alpha_p.add_argument("--concurrency", "-t", type=int, default=4)
+    alpha_p.add_argument("--epochs", type=int, default=12)
+    alpha_p.add_argument(
+        "--alphas", default="0.7,0.95,var", help="comma-separated values / 'var'"
+    )
+    return parser
+
+
+def _parse_alpha(text: str):
+    if text.lower() == "var":
+        return VarAlpha()
+    return ConstantAlpha(float(text))
+
+
+def _print_run(result: RunResult) -> None:
+    rows = [
+        [
+            rec.epoch,
+            format_hours(rec.end_time_s),
+            round(rec.val_accuracy_mean, 3),
+            round(rec.test_accuracy, 3),
+        ]
+        for rec in result.epochs
+    ]
+    print(render_table(["epoch", "time", "val acc", "test acc"], rows))
+    print(f"stopped: {result.stopped_reason}; counters: {result.counters}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = TrainingJobConfig(
+        num_param_servers=args.servers,
+        num_clients=args.clients,
+        max_concurrent_subtasks=args.concurrency,
+        max_epochs=args.epochs,
+        num_shards=args.shards,
+        alpha_schedule=_parse_alpha(args.alpha),
+        target_accuracy=args.target,
+        store_kind=args.store,
+        replicas=args.replicas,
+        quorum=args.quorum if args.quorum is not None else min(2, args.replicas),
+        ps_autoscale=args.autoscale,
+        warm_start_passes=args.warm_start,
+        faults=FaultConfig(preemption_hourly_p=args.preempt_p),
+        seed=args.seed,
+    )
+    resume = load_checkpoint(args.resume) if args.resume else None
+    runner = DistributedRunner(config, resume_from=resume)
+    result = runner.run()
+    _print_run(result)
+    if args.checkpoint_out:
+        save_checkpoint(args.checkpoint_out, runner.checkpoint())
+        print(f"checkpoint written to {args.checkpoint_out}")
+    return 0
+
+
+def _cmd_single(args: argparse.Namespace) -> int:
+    config = TrainingJobConfig(
+        max_epochs=args.epochs, seed=args.seed, target_accuracy=args.target
+    )
+    _print_run(run_single_instance(config))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    standard = paper_p5c5t2_fleet(PricingClass.STANDARD)
+    preempt = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+    rows = [
+        ["standard", round(standard.hourly_cost(), 3), round(standard.job_cost(args.hours), 2)],
+        ["preemptible", round(preempt.hourly_cost(), 3), round(preempt.job_cost(args.hours), 2)],
+        ["saving", f"{100 * preempt.savings_fraction():.0f}%", ""],
+    ]
+    print(
+        render_table(
+            ["pricing", "$/hour", f"$ for {args.hours:g} h"],
+            rows,
+            title="P5C5T2 fleet (paper Table I clients)",
+        )
+    )
+    return 0
+
+
+def _cmd_preempt_model(args: argparse.Namespace) -> int:
+    model = BernoulliSubtaskModel(
+        n_s=args.subtasks,
+        n_c=args.clients,
+        n_tc=args.concurrency,
+        t_e=args.exec_min * 60,
+        t_o=args.timeout_min * 60,
+    )
+    rows = [
+        [f"{p:.2f}", round(model.expected_delay(p) / 60, 1),
+         round(model.expected_training_time(p) / 3600, 2)]
+        for p in (0.0, 0.05, 0.10, 0.20)
+    ]
+    print(
+        render_table(
+            ["p", "E[delay] min", "E[total] h"],
+            rows,
+            title=f"Binomial delay model (n={model.n:g} waves)",
+        )
+    )
+    return 0
+
+
+def _cmd_alpha_study(args: argparse.Namespace) -> int:
+    base = TrainingJobConfig(
+        num_param_servers=args.servers,
+        num_clients=args.clients,
+        max_concurrent_subtasks=args.concurrency,
+        max_epochs=args.epochs,
+    )
+    rows = []
+    for token in args.alphas.split(","):
+        schedule = _parse_alpha(token.strip())
+        result = run_experiment(dataclasses.replace(base, alpha_schedule=schedule))
+        acc = result.val_accuracy()
+        rows.append(
+            [
+                schedule.describe(),
+                round(float(acc[min(2, len(acc) - 1)]), 3),
+                round(float(acc[-1]), 3),
+                round(result.mean_spread(last_k=3), 4),
+            ]
+        )
+    print(
+        render_table(
+            ["schedule", "early acc", "final acc", "late spread"],
+            rows,
+            title=f"alpha study at {base.label}",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import Sweep
+
+    base = TrainingJobConfig(
+        max_epochs=args.epochs,
+        num_shards=args.shards,
+        alpha_schedule=_parse_alpha(args.alpha),
+        seed=args.seed,
+    )
+    sweep = Sweep(base)
+    sweep.axis("num_param_servers", [int(v) for v in args.servers.split(",")])
+    sweep.axis("num_clients", [int(v) for v in args.clients.split(",")])
+    sweep.axis("max_concurrent_subtasks", [int(v) for v in args.concurrency.split(",")])
+    print(f"running {sweep.size} configurations ...")
+    sweep.run(progress=lambda p: print(f"  done: {p.label()}"))
+    print(render_table(sweep.headers(), sweep.table_rows(), title="sweep results"))
+    fastest = sweep.best("total_time_hours", maximize=False)
+    best_acc = sweep.best("final_val_accuracy")
+    print(f"fastest: {fastest.label()} ({fastest.result.total_time_hours:.2f} h)")
+    print(f"highest accuracy: {best_acc.label()} ({best_acc.result.final_val_accuracy:.3f})")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "single": _cmd_single,
+    "cost": _cmd_cost,
+    "preempt-model": _cmd_preempt_model,
+    "alpha-study": _cmd_alpha_study,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: VC-ASGD and the distributed training pipeline."""
+
+from . import baselines
+from .autoscale import AutoscalePolicy, AutoscalingPool
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .job import FaultConfig, LocalTrainingConfig, TrainingJobConfig
+from .param_server import PARAM_KEY, AssimilationStats, ParameterServerPool
+from .results import EpochRecord, RunResult
+from .runner import DistributedRunner, run_experiment
+from .sweep import Sweep, SweepPoint
+from .vcasgd import (
+    AlphaSchedule,
+    CallableAlpha,
+    ConstantAlpha,
+    LinearAlpha,
+    VarAlpha,
+    epoch_recursion,
+    vcasgd_merge,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "AutoscalingPool",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "TrainingJobConfig",
+    "LocalTrainingConfig",
+    "FaultConfig",
+    "ParameterServerPool",
+    "AssimilationStats",
+    "PARAM_KEY",
+    "EpochRecord",
+    "RunResult",
+    "DistributedRunner",
+    "run_experiment",
+    "Sweep",
+    "SweepPoint",
+    "AlphaSchedule",
+    "ConstantAlpha",
+    "VarAlpha",
+    "LinearAlpha",
+    "CallableAlpha",
+    "vcasgd_merge",
+    "epoch_recursion",
+    "baselines",
+]

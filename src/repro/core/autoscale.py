@@ -1,0 +1,121 @@
+"""Dynamic parameter-server scaling (§III-D).
+
+The paper: "our idea is to allow the system to dynamically vary the number
+of parameter servers based on the number of jobs and clients" — motivated
+by users finding the PS-to-client ratio hard to pick (Horovod's critique of
+the parameter-server model).
+
+:class:`AutoscalingPool` extends the fixed pool with a queue-pressure
+controller:
+
+* **scale up** when the backlog per worker exceeds ``up_threshold``
+  (results are arriving faster than the pool drains them — the Fig. 3
+  P1-at-T8 regime), up to ``max_servers``;
+* **scale down** when the pool has been idle-ish for a while
+  (``down_idle_s`` with backlog below ``down_threshold`` per worker),
+  down to ``min_servers``.
+
+Scaling events are traced, so experiments can plot worker count over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .param_server import ParameterServerPool
+
+__all__ = ["AutoscalePolicy", "AutoscalingPool"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Controller settings for the autoscaling pool."""
+
+    min_servers: int = 1
+    max_servers: int = 8
+    up_threshold: float = 2.0  # backlog per worker that triggers scale-up
+    down_threshold: float = 0.25  # backlog per worker allowing scale-down
+    down_idle_s: float = 120.0  # sustained low pressure before scale-down
+    cooldown_s: float = 30.0  # minimum time between scaling actions
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_servers <= self.max_servers:
+            raise ConfigurationError(
+                f"need 1 <= min_servers <= max_servers, got "
+                f"{self.min_servers}..{self.max_servers}"
+            )
+        if self.up_threshold <= self.down_threshold:
+            raise ConfigurationError("up_threshold must exceed down_threshold")
+        if self.cooldown_s < 0 or self.down_idle_s < 0:
+            raise ConfigurationError("timing parameters must be non-negative")
+
+
+class AutoscalingPool(ParameterServerPool):
+    """Parameter-server pool whose worker count follows queue pressure."""
+
+    def __init__(self, *args, policy: AutoscalePolicy | None = None, **kwargs) -> None:
+        policy = policy or AutoscalePolicy()
+        kwargs.setdefault("num_servers", policy.min_servers)
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        if not policy.min_servers <= self.num_servers <= policy.max_servers:
+            raise ConfigurationError(
+                f"initial num_servers={self.num_servers} outside policy range"
+            )
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_scale_time = -float("inf")
+        self._low_pressure_since: float | None = None
+
+    # -- hook into the queue lifecycle ---------------------------------------
+    def assimilate(self, workunit, payload, on_done) -> None:
+        super().assimilate(workunit, payload, on_done)
+        self._evaluate()
+
+    def _dispatch(self) -> None:
+        super()._dispatch()
+        self._evaluate()
+
+    # -- controller ----------------------------------------------------------------
+    def _pressure(self) -> float:
+        """Backlog (queued + in service) per worker."""
+        return (self.queue_depth() + self.busy_workers) / self.num_servers
+
+    def _evaluate(self) -> None:
+        now = self.sim.now
+        pressure = self._pressure()
+        policy = self.policy
+
+        # Track how long pressure has been low (for scale-down).
+        if pressure <= policy.down_threshold:
+            if self._low_pressure_since is None:
+                self._low_pressure_since = now
+        else:
+            self._low_pressure_since = None
+
+        if now - self._last_scale_time < policy.cooldown_s:
+            return
+
+        if pressure >= policy.up_threshold and self.num_servers < policy.max_servers:
+            self.num_servers += 1
+            self.scale_ups += 1
+            self._last_scale_time = now
+            if self.trace is not None:
+                self.trace.emit(
+                    now, "ps.scale_up", workers=self.num_servers, pressure=pressure
+                )
+            super()._dispatch()  # the new worker can start immediately
+        elif (
+            self._low_pressure_since is not None
+            and now - self._low_pressure_since >= policy.down_idle_s
+            and self.num_servers > policy.min_servers
+        ):
+            self.num_servers -= 1
+            self.scale_downs += 1
+            self._last_scale_time = now
+            self._low_pressure_since = now  # restart the idle clock
+            if self.trace is not None:
+                self.trace.emit(
+                    now, "ps.scale_down", workers=self.num_servers, pressure=pressure
+                )

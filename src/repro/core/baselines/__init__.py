@@ -1,0 +1,29 @@
+"""Comparators: single-instance training and the prior ASGD family."""
+
+from .rounds import RoundConfig, RoundHarness, RoundRecord, RoundResult
+from .rules import (
+    ClientUpdate,
+    DCASGDRule,
+    DownpourRule,
+    EASGDRule,
+    SyncAllReduceRule,
+    UpdateRule,
+    VCASGDRule,
+)
+from .single_instance import SingleInstanceTrainer, run_single_instance
+
+__all__ = [
+    "SingleInstanceTrainer",
+    "run_single_instance",
+    "UpdateRule",
+    "ClientUpdate",
+    "VCASGDRule",
+    "DownpourRule",
+    "EASGDRule",
+    "DCASGDRule",
+    "SyncAllReduceRule",
+    "RoundConfig",
+    "RoundHarness",
+    "RoundRecord",
+    "RoundResult",
+]

@@ -1,0 +1,206 @@
+"""Round harness: race update rules under volunteer-computing conditions.
+
+A deliberately compact comparator (separate from the full BOINC pipeline)
+that isolates the *update rule* variable: N clients each own a data shard;
+every round each client locally trains from the current server copy and
+reports either a weight copy or an accumulated gradient; the server applies
+the rule per arriving update.
+
+Volunteer conditions are injected as per-round client dropouts.  Rules with
+``fault_tolerant=False`` (EASGD's round form) cannot advance until every
+client reports, so a dropout stalls the round and costs a full extra round
+time — which is precisely the §III-C argument for why such schemes do not
+fit VC systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...data.dataset import Dataset
+from ...data.loader import BatchLoader
+from ...data.sharding import split_dataset
+from ...data.synthetic import SyntheticImageConfig, make_classification_splits
+from ...errors import ConfigurationError
+from ...nn.losses import cross_entropy
+from ...nn.metrics import evaluate_classifier
+from ...nn.models import ModelSpec, build_model
+from ...nn.optim import SGD
+from ...nn.serialization import state_to_vector, vector_to_state
+from ...nn.tensor import Tensor
+from ...simulation.rng import RngRegistry
+from .rules import ClientUpdate, UpdateRule
+
+__all__ = ["RoundConfig", "RoundRecord", "RoundResult", "RoundHarness"]
+
+
+@dataclass(frozen=True)
+class RoundConfig:
+    """Shape of one comparator experiment."""
+
+    num_clients: int = 5
+    num_rounds: int = 30
+    dropout_p: float = 0.0  # P(a given client fails to report in a round)
+    local_steps: int = 8
+    batch_size: int = 20
+    local_lr: float = 0.05
+    round_seconds: float = 150.0  # ≈ t_e: one wave of subtasks
+    model: ModelSpec = field(
+        default_factory=lambda: ModelSpec(
+            "mlp", {"in_features": 192, "hidden": [32], "num_classes": 10}
+        )
+    )
+    data: SyntheticImageConfig = field(default_factory=SyntheticImageConfig)
+    num_train: int = 2000
+    num_val: int = 400
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0 or self.num_rounds <= 0:
+            raise ConfigurationError("num_clients and num_rounds must be positive")
+        if not 0.0 <= self.dropout_p < 1.0:
+            raise ConfigurationError("dropout_p must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    round_index: int
+    end_time_s: float
+    val_accuracy: float
+    reported: int
+    stalled_retries: int
+
+
+@dataclass
+class RoundResult:
+    label: str
+    records: list[RoundRecord] = field(default_factory=list)
+    total_stalls: int = 0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1].val_accuracy
+
+    @property
+    def total_time_s(self) -> float:
+        return self.records[-1].end_time_s
+
+    def accuracy_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, accuracies) arrays for curve analysis."""
+        t = np.asarray([r.end_time_s for r in self.records])
+        a = np.asarray([r.val_accuracy for r in self.records])
+        return t, a
+
+
+class RoundHarness:
+    """Runs any :class:`UpdateRule` on a shared data/model substrate."""
+
+    def __init__(self, config: RoundConfig) -> None:
+        self.config = config
+        self.rngs = RngRegistry(config.seed)
+        train, val, _ = make_classification_splits(
+            config.data,
+            self.rngs.stream("data"),
+            num_train=config.num_train,
+            num_val=config.num_val,
+            num_test=1,
+            flat=True,
+        )
+        self.val_set = val
+        self.shards: list[Dataset] = split_dataset(
+            train, config.num_clients, rng=self.rngs.stream("shards")
+        )
+        self.model = build_model(config.model, self.rngs.stream("init"))
+        self.template = self.model.state_dict()
+        self.initial_vec = state_to_vector(self.template)
+
+    # -- client-side local training ------------------------------------------
+    def _local_train(
+        self, start_vec: np.ndarray, shard: Dataset, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (new weights, accumulated gradient) from one local pass."""
+        cfg = self.config
+        self.model.load_state_dict(vector_to_state(start_vec, self.template))
+        self.model.train()
+        opt = SGD(self.model.parameters(), lr=cfg.local_lr)
+        params = list(self.model.parameters())
+        accumulated = np.zeros_like(start_vec)
+        loader = BatchLoader(shard, cfg.batch_size, rng=rng)
+        steps = 0
+        while steps < cfg.local_steps:
+            for xb, yb in loader:
+                if steps >= cfg.local_steps:
+                    break
+                self.model.zero_grad()
+                loss = cross_entropy(self.model(Tensor(xb)), yb)
+                loss.backward()
+                grads = {
+                    name: p.grad for name, p in self.model.named_parameters()
+                }
+                accumulated += state_to_vector(grads)
+                opt.step()
+                steps += 1
+        return state_to_vector(self.model.state_dict()), accumulated
+
+    def _evaluate(self, vec: np.ndarray) -> float:
+        self.model.load_state_dict(vector_to_state(vec, self.template))
+        _, acc = evaluate_classifier(self.model, self.val_set.x, self.val_set.y)
+        return acc
+
+    # -- the race ---------------------------------------------------------------
+    def run(self, rule: UpdateRule) -> RoundResult:
+        """Race ``rule`` over the configured rounds; returns its trajectory."""
+        cfg = self.config
+        rng = self.rngs.fresh(f"rounds:{rule.describe()}")
+        server = self.initial_vec.copy()
+        result = RoundResult(label=rule.describe())
+        clock = 0.0
+        version = 0
+        for round_index in range(1, cfg.num_rounds + 1):
+            rule.snapshot_sent(version, server)
+            reporting = [
+                c for c in range(cfg.num_clients) if rng.random() >= cfg.dropout_p
+            ]
+            retries = 0
+            if not rule.fault_tolerant:
+                # Barrier semantics: wait (and redraw) until everyone reports.
+                while len(reporting) < cfg.num_clients:
+                    retries += 1
+                    clock += cfg.round_seconds
+                    reporting = [
+                        c
+                        for c in range(cfg.num_clients)
+                        if rng.random() >= cfg.dropout_p
+                    ]
+                result.total_stalls += retries
+            updates: list[ClientUpdate] = []
+            for client in reporting:
+                new_vec, grad = self._local_train(
+                    server, self.shards[client], rng
+                )
+                updates.append(
+                    ClientUpdate(
+                        client_id=client,
+                        params=new_vec,
+                        gradient=grad,
+                        base_version=version,
+                    )
+                )
+            # Asynchronous arrival: apply in a random order.
+            order = rng.permutation(len(updates))
+            for idx in order:
+                server = rule.apply(server, updates[idx], round_index)
+            version += 1
+            clock += cfg.round_seconds
+            result.records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    end_time_s=clock,
+                    val_accuracy=self._evaluate(server),
+                    reported=len(reporting),
+                    stalled_retries=retries,
+                )
+            )
+        return result

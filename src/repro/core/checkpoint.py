@@ -1,0 +1,146 @@
+"""Training-job checkpointing: survive *server* failure.
+
+§II-B notes that TensorFlow's parameter-server strategy "is not fault
+tolerant against failure of the centralized server".  In the paper's
+design the server parameter copy lives in a database, so a restarted
+server can resume the job.  This module makes that concrete: a
+:class:`Checkpoint` captures the server parameter vector, the completed
+epoch count, the elapsed simulated time and the per-epoch history; a new
+:class:`~repro.core.runner.DistributedRunner` can resume from it.
+
+Checkpoints serialize to a single ``.npz`` file (the same codec the
+parameter files use).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SerializationError, TrainingError
+from .results import EpochRecord, RunResult
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint"]
+
+_RECORD_FIELDS = (
+    "epoch",
+    "end_time_s",
+    "val_accuracy_mean",
+    "val_accuracy_min",
+    "val_accuracy_max",
+    "test_accuracy",
+    "alpha",
+    "assimilations",
+    "timeouts_so_far",
+    "lost_updates_so_far",
+)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Resumable snapshot of a distributed training job."""
+
+    params: np.ndarray  # flat server parameter vector
+    epochs_completed: int
+    elapsed_s: float
+    label: str = ""
+    history: tuple[EpochRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.epochs_completed < 0 or self.elapsed_s < 0:
+            raise TrainingError("checkpoint with negative progress")
+        if np.asarray(self.params).ndim != 1:
+            raise TrainingError("checkpoint params must be a flat vector")
+
+    @staticmethod
+    def from_result(result: RunResult, params: np.ndarray) -> "Checkpoint":
+        """Snapshot the end state of a (possibly partial) run."""
+        return Checkpoint(
+            params=np.asarray(params, dtype=np.float64).copy(),
+            epochs_completed=len(result.epochs),
+            elapsed_s=result.total_time_s,
+            label=result.label,
+            history=tuple(result.epochs),
+        )
+
+    def seed_result(self) -> RunResult:
+        """A RunResult pre-populated with the checkpointed history."""
+        result = RunResult(label=self.label)
+        for record in self.history:
+            result.append(record)
+        return result
+
+    # -- serialization --------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to a compressed ``.npz`` byte blob."""
+        meta = {
+            "epochs_completed": self.epochs_completed,
+            "elapsed_s": self.elapsed_s,
+            "label": self.label,
+        }
+        columns = {
+            f"history_{name}": np.asarray(
+                [getattr(rec, name) for rec in self.history]
+            )
+            for name in _RECORD_FIELDS
+        }
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            params=self.params,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **columns,
+        )
+        return buf.getvalue()
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "Checkpoint":
+        """Inverse of :meth:`to_bytes`."""
+        try:
+            with np.load(io.BytesIO(blob)) as archive:
+                meta = json.loads(archive["meta"].tobytes().decode())
+                n = len(archive["history_epoch"])
+                history = tuple(
+                    EpochRecord(
+                        **{
+                            name: (
+                                int(archive[f"history_{name}"][i])
+                                if name
+                                in (
+                                    "epoch",
+                                    "assimilations",
+                                    "timeouts_so_far",
+                                    "lost_updates_so_far",
+                                )
+                                else float(archive[f"history_{name}"][i])
+                            )
+                            for name in _RECORD_FIELDS
+                        }
+                    )
+                    for i in range(n)
+                )
+                return Checkpoint(
+                    params=archive["params"].copy(),
+                    epochs_completed=meta["epochs_completed"],
+                    elapsed_s=meta["elapsed_s"],
+                    label=meta["label"],
+                    history=history,
+                )
+        except TrainingError:
+            raise
+        except Exception as exc:
+            raise SerializationError(f"cannot decode checkpoint: {exc}") from exc
+
+
+def save_checkpoint(path: str | pathlib.Path, checkpoint: Checkpoint) -> None:
+    """Write a checkpoint file."""
+    pathlib.Path(path).write_bytes(checkpoint.to_bytes())
+
+
+def load_checkpoint(path: str | pathlib.Path) -> Checkpoint:
+    """Read a checkpoint file."""
+    return Checkpoint.from_bytes(pathlib.Path(path).read_bytes())

@@ -1,0 +1,199 @@
+"""Training-job configuration: everything that defines one experiment.
+
+The paper's experiment identifiers — ``PnCnTn`` plus the α setting — map
+directly onto fields here (``num_param_servers``, ``num_clients``,
+``max_concurrent_subtasks``, ``alpha_schedule``).  The remaining fields
+pin down the substrate: model, data, client-side optimizer, store choice,
+fault model, and the timing calibration anchors from §IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.synthetic import SyntheticImageConfig
+from ..errors import ConfigurationError
+from ..nn.models import ModelSpec
+from ..simulation.resources import TABLE1_CLIENTS, TABLE1_SERVER, InstanceSpec
+from .vcasgd import AlphaSchedule, ConstantAlpha
+
+__all__ = ["LocalTrainingConfig", "FaultConfig", "TrainingJobConfig"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Client-side subtask training.
+
+    The paper uses Adam at lr=0.001 on CIFAR10/ResNetV2; the defaults here
+    are the recalibrated equivalents for the synthetic task (see
+    EXPERIMENTS.md "calibration"): the same optimizer family, with the
+    local pass sized so client copies visibly specialize to their shard —
+    the dynamic §IV-C's α analysis depends on.
+    """
+
+    optimizer: str = "adam"  # "adam" | "sgd"
+    learning_rate: float = 0.003
+    local_epochs: int = 10
+    batch_size: int = 20
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("adam", "sgd"):
+            raise ConfigurationError(f"unknown optimizer {self.optimizer!r}")
+        if self.learning_rate <= 0 or self.local_epochs <= 0 or self.batch_size <= 0:
+            raise ConfigurationError("invalid local training parameters")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Failure injection for the client fleet.
+
+    ``preemption_hourly_p`` is the per-instance hourly interruption
+    probability (0 disables preemption).  ``relaunch_delay_s`` models the
+    fleet replacing a reclaimed instance (AWS spot fleet behaviour); set to
+    None to let terminated clients stay dead.
+
+    ``corrupt_clients`` marks the first N launched clients as *faulty or
+    malicious*: their uploads are perturbed by noise of relative magnitude
+    ``corruption_scale``.  Traditional VC systems cannot trust volunteer
+    hosts (§II-A); the defences are the validator's sanity checks and — for
+    subtle corruption — §II-C replication with quorum.
+    """
+
+    preemption_hourly_p: float = 0.0
+    relaunch_delay_s: float | None = 120.0
+    corrupt_clients: int = 0
+    corruption_scale: float = 1.0
+    # Volunteer churn (§II-A: "volunteers join and leave projects at
+    # will"): Poisson arrivals of *additional* volunteer hosts, capped so
+    # the fleet cannot grow without bound.
+    volunteer_arrivals_per_hour: float = 0.0
+    max_volunteers: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.preemption_hourly_p < 1.0:
+            raise ConfigurationError("preemption_hourly_p must be in [0, 1)")
+        if self.relaunch_delay_s is not None and self.relaunch_delay_s < 0:
+            raise ConfigurationError("relaunch_delay_s must be non-negative")
+        if self.corrupt_clients < 0 or self.corruption_scale < 0:
+            raise ConfigurationError("invalid corruption parameters")
+        if self.volunteer_arrivals_per_hour < 0 or self.max_volunteers < 0:
+            raise ConfigurationError("invalid volunteer churn parameters")
+
+
+@dataclass(frozen=True)
+class TrainingJobConfig:
+    """Full specification of a distributed training experiment."""
+
+    # -- the paper's headline knobs (Pn, Cn, Tn, alpha) --------------------
+    num_param_servers: int = 1
+    num_clients: int = 3
+    max_concurrent_subtasks: int = 2
+    alpha_schedule: AlphaSchedule = field(default_factory=lambda: ConstantAlpha(0.95))
+
+    # -- workload -----------------------------------------------------------
+    model: ModelSpec = field(
+        default_factory=lambda: ModelSpec("mlp", {"in_features": 192, "hidden": [64], "num_classes": 10})
+    )
+    data: SyntheticImageConfig = field(default_factory=SyntheticImageConfig)
+    num_train: int = 2000
+    num_val: int = 400
+    num_test: int = 400
+    flat_features: bool = True
+    num_shards: int = 50
+    max_epochs: int = 40
+    target_accuracy: float | None = None  # stop early once mean val acc >= this
+    local_training: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    # Downpour-style warm starting (§II-B): serial synchronous passes over
+    # the full training set on the server before distribution begins; the
+    # time they take is charged to the simulated clock.
+    warm_start_passes: int = 0
+
+    # -- infrastructure ------------------------------------------------------
+    server_spec: InstanceSpec = TABLE1_SERVER
+    client_specs: tuple[InstanceSpec, ...] = TABLE1_CLIENTS
+    store_kind: str = "eventual"  # "eventual" (Redis-like) | "strong" (MySQL-like)
+    compression_enabled: bool = True
+    sticky_files_enabled: bool = True
+    affinity_enabled: bool = True
+    reliability_enabled: bool = True
+    heartbeats_enabled: bool = False  # trickle progress reports
+    # Time-varying WAN conditions (§II-A "variable network latency"): a
+    # CongestionSchedule applied to every client link, or None for
+    # stationary links.  See repro.simulation.congestion.
+    congestion: object | None = None
+
+    # -- timing calibration (§IV anchors) ---------------------------------------
+    work_units_per_subtask: float = 144.0  # t_e ≈ 2.4 min on a reference core
+    validation_work_units: float = 8.0  # server-side accuracy pass per update
+    subtask_timeout_s: float = 300.0  # t_o = 5 min
+    max_attempts: int = 5
+    ps_effective_cores: int = 5  # §IV-B: server throughput flattens past P5
+    val_eval_subsample: int = 256  # samples used for the per-update accuracy
+
+    # -- dynamic parameter-server scaling (§III-D future design) ---------------
+    # When True, num_param_servers is the *initial* worker count and the
+    # pool grows/shrinks with queue pressure per `autoscale_policy`
+    # (see repro.core.autoscale; None means the policy defaults).
+    ps_autoscale: bool = False
+    autoscale_policy: object | None = None
+
+    # -- redundancy (§II-C: replication for verification) -----------------------
+    # 1 disables replication; k>1 sends each subtask to k distinct hosts
+    # and assimilates once `quorum` of them agree.
+    replicas: int = 1
+    quorum: int = 1
+
+    # -- fault model & reproducibility ----------------------------------------
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_param_servers <= 0 or self.num_clients <= 0:
+            raise ConfigurationError("Pn and Cn must be positive")
+        if self.max_concurrent_subtasks <= 0:
+            raise ConfigurationError("Tn must be positive")
+        if self.num_shards <= 0 or self.max_epochs <= 0:
+            raise ConfigurationError("num_shards and max_epochs must be positive")
+        if self.store_kind not in ("eventual", "strong"):
+            raise ConfigurationError(f"unknown store_kind {self.store_kind!r}")
+        if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
+            raise ConfigurationError("target_accuracy must be in (0, 1]")
+        if not self.client_specs:
+            raise ConfigurationError("need at least one client spec")
+        if self.warm_start_passes < 0:
+            raise ConfigurationError("warm_start_passes must be non-negative")
+        if self.replicas < 1 or not 1 <= self.quorum <= self.replicas:
+            raise ConfigurationError(
+                f"invalid replication: replicas={self.replicas}, quorum={self.quorum}"
+            )
+        if self.replicas > self.num_clients:
+            raise ConfigurationError(
+                "replicas cannot exceed num_clients: replicas must land on "
+                "distinct hosts (BOINC's one-result-per-host rule)"
+            )
+
+    # -- conveniences -----------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """The paper's experiment shorthand, e.g. ``P3C3T4``."""
+        return (
+            f"P{self.num_param_servers}C{self.num_clients}"
+            f"T{self.max_concurrent_subtasks}"
+        )
+
+    def spec_for_client(self, index: int) -> InstanceSpec:
+        """Round-robin over the configured heterogeneous client types."""
+        return self.client_specs[index % len(self.client_specs)]
+
+    def with_pct(self, p: int, c: int, t: int) -> "TrainingJobConfig":
+        """Copy with different Pn/Cn/Tn (the Fig. 2/3 sweep helper)."""
+        return replace(
+            self,
+            num_param_servers=p,
+            num_clients=c,
+            max_concurrent_subtasks=t,
+        )
+
+    def with_alpha(self, schedule: AlphaSchedule) -> "TrainingJobConfig":
+        """Copy with a different α schedule (the Fig. 4 sweep helper)."""
+        return replace(self, alpha_schedule=schedule)

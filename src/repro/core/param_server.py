@@ -1,0 +1,192 @@
+"""Parameter-server pool (§III-A, §III-D).
+
+``Pn`` parameter servers share one *server parameter copy* held in a
+key-value store (Redis-like eventual or MySQL-like strong consistency).
+BOINC "evenly distributes the load": exactly one server processes each
+result, so the pool is a P-worker FIFO queue.  Processing one result:
+
+1. read-modify-write the store: Eq. 1 merge of the client's parameter
+   vector into the server copy (store semantics decide whether concurrent
+   merges can be lost);
+2. compute the validation accuracy of the merged copy (real forward pass;
+   its *duration* is simulated work on the shared server CPU);
+3. republish the parameter file so subsequent workunit downloads see the
+   new copy.
+
+The queue is the mechanism behind Fig. 3: when clients produce results
+faster than ``Pn`` workers drain them, epoch time inflates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError, TrainingError
+from ..kvstore.base import KVStore
+from ..simulation.engine import Simulator
+from ..simulation.resources import ComputeResource
+from ..simulation.tracing import Trace
+from ..boinc.workunit import Workunit
+from .vcasgd import AlphaSchedule, vcasgd_merge
+
+__all__ = ["AssimilationStats", "ParameterServerPool", "PARAM_KEY"]
+
+PARAM_KEY = "server-params"
+
+
+@dataclass
+class AssimilationStats:
+    """Aggregate counters for the pool."""
+
+    processed: int = 0
+    total_queue_wait: float = 0.0
+    total_service_time: float = 0.0
+    max_queue_depth: int = 0
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay per assimilated result (seconds)."""
+        return self.total_queue_wait / self.processed if self.processed else 0.0
+
+    def mean_service(self) -> float:
+        """Mean service time per assimilated result (seconds)."""
+        return self.total_service_time / self.processed if self.processed else 0.0
+
+
+class ParameterServerPool:
+    """P-worker assimilation pipeline implementing VC-ASGD.
+
+    Implements the :class:`repro.boinc.assimilator.Assimilator` protocol.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_servers: int,
+        store: KVStore,
+        alpha_schedule: AlphaSchedule,
+        server_cpu: ComputeResource,
+        evaluate_fn: Callable[[np.ndarray], tuple[float, float]],
+        republish_fn: Callable[[np.ndarray], None] | None = None,
+        validation_work_units: float = 8.0,
+        param_nbytes: int | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        if num_servers <= 0:
+            raise ConfigurationError(f"num_servers (Pn) must be positive, got {num_servers}")
+        if validation_work_units <= 0:
+            raise ConfigurationError("validation_work_units must be positive")
+        self.sim = sim
+        self.num_servers = num_servers
+        self.store = store
+        self.alpha_schedule = alpha_schedule
+        self.server_cpu = server_cpu
+        self.evaluate_fn = evaluate_fn
+        self.republish_fn = republish_fn
+        self.validation_work_units = validation_work_units
+        self.param_nbytes = param_nbytes
+        self.trace = trace
+        self._queue: deque[tuple[Workunit, np.ndarray, Callable[[], None], float]] = deque()
+        self._busy_workers = 0
+        self.stats = AssimilationStats()
+        # epoch -> list of per-assimilation validation accuracies
+        self.epoch_accuracies: dict[int, list[float]] = {}
+
+    # -- Assimilator protocol ------------------------------------------------
+    def assimilate(
+        self, workunit: Workunit, payload: object, on_done: Callable[[], None]
+    ) -> None:
+        """Queue one validated client result for processing."""
+        if not isinstance(payload, np.ndarray):
+            raise TrainingError(
+                f"assimilator expected a parameter vector, got {type(payload).__name__}"
+            )
+        self._queue.append((workunit, payload, on_done, self.sim.now))
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        self._dispatch()
+
+    def queue_depth(self) -> int:
+        """Results waiting for a free parameter-server worker."""
+        return len(self._queue)
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently processing a result."""
+        return self._busy_workers
+
+    # -- worker pipeline --------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._busy_workers < self.num_servers and self._queue:
+            item = self._queue.popleft()
+            self._busy_workers += 1
+            self._process(*item)
+
+    def _process(
+        self,
+        wu: Workunit,
+        client_vec: np.ndarray,
+        on_done: Callable[[], None],
+        enqueued_at: float,
+    ) -> None:
+        start = self.sim.now
+        self.stats.total_queue_wait += start - enqueued_at
+        alpha = self.alpha_schedule.alpha_at(wu.epoch + 1)  # paper epochs are 1-based
+
+        def merge(old_vec: np.ndarray) -> np.ndarray:
+            # Out of place: with the eventual store, ``old_vec`` may be a
+            # snapshot other in-flight transactions still reference.
+            return vcasgd_merge(old_vec, client_vec, alpha)
+
+        def after_store(new_vec: np.ndarray) -> None:
+            # Validation pass: the real accuracy is computed now; the time
+            # it takes is charged to the shared server CPU.
+            self.server_cpu.submit(
+                self.validation_work_units,
+                lambda: after_validation(new_vec),
+                label=f"validate:{wu.wu_id}",
+            )
+
+        def after_validation(new_vec: np.ndarray) -> None:
+            _, accuracy = self.evaluate_fn(new_vec)
+            self.epoch_accuracies.setdefault(wu.epoch, []).append(accuracy)
+            if self.republish_fn is not None:
+                self.republish_fn(new_vec)
+            self.stats.processed += 1
+            self.stats.total_service_time += self.sim.now - start
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "ps.assimilated",
+                    wu=wu.wu_id,
+                    epoch=wu.epoch,
+                    alpha=alpha,
+                    accuracy=accuracy,
+                    queue_wait=start - enqueued_at,
+                )
+            self._busy_workers -= 1
+            on_done()
+            self._dispatch()
+
+        self.store.read_modify_write(
+            PARAM_KEY, merge, on_done=after_store, nbytes=self.param_nbytes
+        )
+
+    # -- epoch-level views ----------------------------------------------------------
+    def epoch_accuracy_summary(self, epoch: int) -> tuple[float, float, float]:
+        """(mean, min, max) validation accuracy over the epoch's assimilations.
+
+        The mean is the paper's "average validation accuracy over all the
+        subtasks"; min/max are the Fig. 4 error bars.
+        """
+        accs = self.epoch_accuracies.get(epoch)
+        if not accs:
+            raise TrainingError(f"no assimilations recorded for epoch {epoch}")
+        arr = np.asarray(accs)
+        return float(arr.mean()), float(arr.min()), float(arr.max())
+
+    def current_params(self) -> np.ndarray:
+        """Latest committed server parameter copy."""
+        return self.store.get_now(PARAM_KEY)

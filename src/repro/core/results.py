@@ -1,0 +1,113 @@
+"""Run results: per-epoch records and whole-run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TrainingError
+
+__all__ = ["EpochRecord", "RunResult"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything measured at one epoch boundary.
+
+    Times are *simulated* seconds since the start of training; accuracy
+    fields mirror the paper's plots (mean over the epoch's subtask
+    assimilations, with min/max forming the Fig. 4 error bars; test
+    accuracy is evaluated on the held-out test split as in Fig. 6).
+    """
+
+    epoch: int  # 1-based, as the paper counts
+    end_time_s: float
+    val_accuracy_mean: float
+    val_accuracy_min: float
+    val_accuracy_max: float
+    test_accuracy: float
+    alpha: float
+    assimilations: int
+    timeouts_so_far: int
+    lost_updates_so_far: int
+
+    @property
+    def val_accuracy_spread(self) -> float:
+        """Error-bar width (proxy for the std-dev of accuracy, §IV-C)."""
+        return self.val_accuracy_max - self.val_accuracy_min
+
+
+@dataclass
+class RunResult:
+    """Outcome of one distributed (or baseline) training run."""
+
+    label: str
+    epochs: list[EpochRecord] = field(default_factory=list)
+    total_time_s: float = 0.0
+    stopped_reason: str = ""
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def append(self, record: EpochRecord) -> None:
+        """Record one finished epoch and advance the run clock."""
+        self.epochs.append(record)
+        self.total_time_s = record.end_time_s
+
+    # -- series views (for plotting/benchmark tables) -------------------------
+    def times_hours(self) -> np.ndarray:
+        """Epoch end times in hours (the figures' x axis)."""
+        return np.asarray([e.end_time_s for e in self.epochs]) / 3600.0
+
+    def val_accuracy(self) -> np.ndarray:
+        """Per-epoch mean validation accuracy (the figures' y axis)."""
+        return np.asarray([e.val_accuracy_mean for e in self.epochs])
+
+    def test_accuracy(self) -> np.ndarray:
+        """Per-epoch held-out test accuracy."""
+        return np.asarray([e.test_accuracy for e in self.epochs])
+
+    def spreads(self) -> np.ndarray:
+        """Per-epoch error-bar widths (max − min subtask accuracy)."""
+        return np.asarray([e.val_accuracy_spread for e in self.epochs])
+
+    # -- summary queries ---------------------------------------------------------
+    @property
+    def final_val_accuracy(self) -> float:
+        if not self.epochs:
+            raise TrainingError(f"run {self.label!r} recorded no epochs")
+        return self.epochs[-1].val_accuracy_mean
+
+    @property
+    def final_test_accuracy(self) -> float:
+        if not self.epochs:
+            raise TrainingError(f"run {self.label!r} recorded no epochs")
+        return self.epochs[-1].test_accuracy
+
+    @property
+    def total_time_hours(self) -> float:
+        return self.total_time_s / 3600.0
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds until mean val accuracy first reached ``target``
+        (None if never)."""
+        for record in self.epochs:
+            if record.val_accuracy_mean >= target:
+                return record.end_time_s
+        return None
+
+    def best_val_accuracy(self) -> float:
+        """Highest mean validation accuracy reached at any epoch."""
+        return float(max(e.val_accuracy_mean for e in self.epochs))
+
+    def mean_spread(self, last_k: int | None = None) -> float:
+        """Mean error-bar width, optionally over only the last ``last_k`` epochs."""
+        spreads = self.spreads()
+        if last_k is not None:
+            spreads = spreads[-last_k:]
+        return float(spreads.mean())
+
+    def window(self, t_lo_h: float, t_hi_h: float) -> list[EpochRecord]:
+        """Epochs whose end time falls in [t_lo_h, t_hi_h) hours (Fig. 5 zooms)."""
+        return [
+            e for e in self.epochs if t_lo_h <= e.end_time_s / 3600.0 < t_hi_h
+        ]

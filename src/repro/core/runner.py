@@ -1,0 +1,619 @@
+"""Distributed training runner: wires every substrate into one experiment.
+
+Builds the full system of Fig. 1 — synthetic dataset, work generator,
+BOINC server (scheduler/web/validator), client fleet on simulated
+heterogeneous preemptible instances, parameter-server pool over a KV
+store — and drives it epoch by epoch:
+
+1. publish one workunit per shard referencing the current parameter file;
+2. let the event simulation flow (downloads, real local training,
+   uploads, VC-ASGD assimilations, timeouts, preemptions);
+3. when every workunit of the epoch is terminal and every accepted result
+   is assimilated, record the epoch (mean/min/max subtask validation
+   accuracy, test accuracy, simulated wall-clock);
+4. stop when the accuracy target is met or ``max_epochs`` have run
+   (§III-A's stopping criterion), else loop.
+
+Client-side training is *real* NumPy training; every duration is
+*simulated* time — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..boinc.client import ClientDaemon
+from ..boinc.files import ServerFile
+from ..boinc.replication import QuorumAssimilator, QuorumConfig, logical_id
+from ..boinc.scheduler import SchedulerConfig
+from ..boinc.server import BoincServer
+from ..boinc.validator import ParameterValidator
+from ..boinc.work_generator import WorkGenerator
+from ..boinc.workunit import Workunit, WorkunitState
+from ..data.dataset import Dataset
+from ..data.loader import BatchLoader
+from ..data.synthetic import make_classification_splits
+from ..errors import TrainingError
+from ..kvstore.eventual import EventualStore
+from ..kvstore.strong import StrongStore
+from ..kvstore.latency import mysql_like_latency, redis_like_latency
+from ..nn.layers import Module
+from ..nn.losses import cross_entropy
+from ..nn.metrics import evaluate_classifier
+from ..nn.models import build_model
+from ..nn.optim import SGD, Adam
+from ..nn.serialization import state_to_vector, vector_to_state
+from ..nn.tensor import Tensor
+from ..simulation.congestion import CongestedLink, CongestionSchedule
+from ..simulation.engine import Simulator
+from ..simulation.preemption import ExponentialLifetime
+from ..simulation.rng import RngRegistry
+from ..simulation.tracing import Trace
+from .autoscale import AutoscalePolicy, AutoscalingPool
+from .checkpoint import Checkpoint
+from .job import TrainingJobConfig
+from .param_server import ParameterServerPool
+from .results import EpochRecord, RunResult
+
+__all__ = ["DistributedRunner", "run_experiment"]
+
+PARAM_FILE = "job:params"
+# Compressed/raw ratio for float64 weight vectors; measured once from the
+# npz codec on representative weights and then reused (computing a real
+# compression per update would dominate runtime without changing behaviour).
+PARAM_COMPRESSION_RATIO = 0.9
+
+
+class DistributedRunner:
+    """One fully wired distributed-training experiment."""
+
+    def __init__(
+        self, config: TrainingJobConfig, resume_from: "Checkpoint | None" = None
+    ) -> None:
+        self.config = config
+        self.rngs = RngRegistry(config.seed)
+        self.sim = Simulator()
+        self.trace = Trace()
+        self._resume = resume_from
+        self._time_offset = 0.0
+        # Staleness instrumentation (see _republish_params / _on_assimilated):
+        # publish counter for the parameter file, the publish version each
+        # in-flight subtask trained from, and the collected per-update
+        # staleness samples.  Initialized before any publish happens.
+        self._param_publish_count = 0
+        self._payload_versions: dict[int, int] = {}
+        self._wu_base_version: dict[str, int] = {}
+        self.staleness_samples: list[int] = []
+
+        # ---- data ------------------------------------------------------
+        data_rng = self.rngs.stream("data")
+        self.train_set, self.val_set, self.test_set = make_classification_splits(
+            config.data,
+            data_rng,
+            num_train=config.num_train,
+            num_val=config.num_val,
+            num_test=config.num_test,
+            flat=config.flat_features,
+        )
+
+        # ---- model template and initial parameters ----------------------
+        init_rng = self.rngs.stream("init")
+        self._eval_model: Module = build_model(config.model, init_rng)
+        self._template_state = self._eval_model.state_dict()
+        self.warm_start_seconds = 0.0
+        if config.warm_start_passes > 0 and resume_from is None:
+            self._warm_start()
+            self._template_state = self._eval_model.state_dict()
+        initial_vec = state_to_vector(self._eval_model.state_dict())
+        if resume_from is not None:
+            # Recover the server parameter copy from the checkpoint (the
+            # role the §III-D database plays after a server failure).
+            if resume_from.params.size != initial_vec.size:
+                raise TrainingError(
+                    f"checkpoint has {resume_from.params.size} scalars but the "
+                    f"model needs {initial_vec.size}; config mismatch?"
+                )
+            initial_vec = resume_from.params.astype(np.float64).copy()
+            self._time_offset = resume_from.elapsed_s
+        self.param_size = initial_vec.size
+        self._param_raw_bytes = initial_vec.nbytes
+        self._param_wire_bytes = int(initial_vec.nbytes * PARAM_COMPRESSION_RATIO)
+
+        # ---- parameter store --------------------------------------------
+        if config.store_kind == "eventual":
+            self.store = EventualStore(
+                self.sim, redis_like_latency(), name="redis", trace=self.trace
+            )
+        else:
+            self.store = StrongStore(
+                self.sim, mysql_like_latency(), name="mysql", trace=self.trace
+            )
+        self.store.put_now("server-params", initial_vec)
+
+        # ---- server-side compute (PS workers share these cores) ----------
+        from ..simulation.resources import ComputeResource
+
+        ps_spec = replace(
+            config.server_spec,
+            name="ps-cores",
+            vcpus=config.ps_effective_cores,
+        )
+        self.server_cpu = ComputeResource(self.sim, ps_spec, contention=0.15)
+
+        # ---- validation subsample used for per-update accuracy -----------
+        k = min(config.val_eval_subsample, len(self.val_set))
+        self._val_x = self.val_set.x[:k]
+        self._val_y = self.val_set.y[:k]
+
+        # ---- parameter-server pool ----------------------------------------
+        pool_kwargs = dict(
+            sim=self.sim,
+            num_servers=config.num_param_servers,
+            store=self.store,
+            alpha_schedule=config.alpha_schedule,
+            server_cpu=self.server_cpu,
+            evaluate_fn=self._evaluate_vec,
+            republish_fn=self._republish_params,
+            validation_work_units=config.validation_work_units,
+            param_nbytes=self._param_wire_bytes,
+            trace=self.trace,
+        )
+        if config.ps_autoscale:
+            policy = config.autoscale_policy
+            if policy is not None and not isinstance(policy, AutoscalePolicy):
+                raise TrainingError(
+                    "autoscale_policy must be an AutoscalePolicy or None"
+                )
+            self.pool: ParameterServerPool = AutoscalingPool(
+                policy=policy, **pool_kwargs
+            )
+        else:
+            self.pool = ParameterServerPool(**pool_kwargs)
+
+        # ---- optional replication quorum in front of the pool -------------
+        self.quorum: QuorumAssimilator | None = None
+        assimilator: object = self.pool
+        if config.replicas > 1:
+            self.quorum = QuorumAssimilator(
+                inner=self.pool,
+                config=QuorumConfig(
+                    replicas=config.replicas, min_quorum=config.quorum
+                ),
+                trace=self.trace,
+            )
+            self.quorum.on_decided = self._cancel_sibling_replicas
+            assimilator = self.quorum
+
+        # ---- BOINC server ----------------------------------------------------
+        validator = ParameterValidator(expected_size=self.param_size, trace=self.trace)
+        self.server = BoincServer(
+            sim=self.sim,
+            assimilator=assimilator,
+            validator=validator,
+            scheduler_config=SchedulerConfig(
+                timeout_s=config.subtask_timeout_s,
+                max_attempts=config.max_attempts,
+                affinity_enabled=config.affinity_enabled,
+                reliability_enabled=config.reliability_enabled,
+                heartbeats_enabled=config.heartbeats_enabled,
+            ),
+            compression_enabled=config.compression_enabled,
+            trace=self.trace,
+        )
+        self.server.on_assimilated = self._on_assimilated
+
+        # ---- work generator ---------------------------------------------------
+        self.work_generator = WorkGenerator(
+            job_id="job",
+            catalog=self.server.catalog,
+            train_set=self.train_set,
+            num_shards=config.num_shards,
+            model_spec_json=config.model.to_json(),
+            timeout_s=config.subtask_timeout_s,
+            work_units_per_subtask=config.work_units_per_subtask,
+            max_attempts=config.max_attempts,
+            rng=self.rngs.stream("workgen"),
+        )
+        self._republish_params(initial_vec)
+
+        # ---- client fleet ------------------------------------------------------
+        self._client_models: dict[str, Module] = {}
+        self._client_counter = 0
+        self.preemptions = 0
+        for i in range(config.num_clients):
+            self._launch_client(config.spec_for_client(i))
+        self._volunteers_joined = 0
+        if config.faults.volunteer_arrivals_per_hour > 0:
+            self._schedule_next_volunteer()
+
+        # ---- epoch bookkeeping ---------------------------------------------------
+        self._current_epoch = 0  # 0-based internally; reported 1-based
+        self._epoch_workunits: list[Workunit] = []
+        self._epoch_assimilated = 0
+        label = f"{config.label}:{config.alpha_schedule.describe()}"
+        if resume_from is not None:
+            self._current_epoch = resume_from.epochs_completed
+            self.result = resume_from.seed_result()
+            self.result.label = self.result.label or label
+            if self._current_epoch >= config.max_epochs:
+                raise TrainingError(
+                    "checkpoint already covers max_epochs; raise max_epochs to resume"
+                )
+        else:
+            self.result = RunResult(label=label)
+
+    def _warm_start(self) -> None:
+        """Downpour-style warm start (§II-B): serial passes before
+        distributing.  Runs on the (simulated) server instance; the clock
+        advances by the corresponding serial-training time."""
+        cfg = self.config
+        lt = cfg.local_training
+        if lt.optimizer == "adam":
+            opt = Adam(self._eval_model.parameters(), lr=lt.learning_rate)
+        else:
+            opt = SGD(self._eval_model.parameters(), lr=lt.learning_rate)
+        loader = BatchLoader(
+            self.train_set, lt.batch_size, rng=self.rngs.stream("warmstart")
+        )
+        self._eval_model.train()
+        for _ in range(cfg.warm_start_passes):
+            for xb, yb in loader:
+                self._eval_model.zero_grad()
+                loss = cross_entropy(self._eval_model(Tensor(xb)), yb)
+                loss.backward()
+                opt.step()
+        # Time model: one pass over the full data costs the same work as
+        # one epoch's subtasks spread over the server's cores.
+        per_pass = (
+            cfg.num_shards * cfg.work_units_per_subtask / lt.local_epochs
+        ) / cfg.server_spec.total_rate
+        self.warm_start_seconds = cfg.warm_start_passes * per_pass
+        self.sim.schedule(self.warm_start_seconds, lambda: None, label="warmstart")
+        self.sim.run(until=self.warm_start_seconds)
+        self.trace.emit(
+            self.sim.now, "warmstart.done", passes=cfg.warm_start_passes
+        )
+
+    # ------------------------------------------------------------------
+    # Client fleet management
+    # ------------------------------------------------------------------
+    def _launch_client(self, spec) -> ClientDaemon:
+        cid = f"client-{self._client_counter:03d}"
+        self._client_counter += 1
+        cache_cap = 8e9 if self.config.sticky_files_enabled else 1.0
+        link = spec.default_link()
+        if self.config.congestion is not None:
+            if not isinstance(self.config.congestion, CongestionSchedule):
+                raise TrainingError(
+                    "config.congestion must be a CongestionSchedule or None"
+                )
+            link = CongestedLink(link, self.config.congestion)
+        client = ClientDaemon(
+            client_id=cid,
+            sim=self.sim,
+            spec=spec,
+            scheduler=self.server.scheduler,
+            web=self.server.web,
+            executor=self._execute_subtask,
+            max_concurrent=self.config.max_concurrent_subtasks,
+            link=link,
+            rng=self.rngs.stream(f"net:{cid}"),
+            cache_capacity_bytes=cache_cap,
+            trace=self.trace,
+        )
+        self.server.attach_client(client)
+        if self.config.faults.preemption_hourly_p > 0:
+            lifetime = ExponentialLifetime(self.config.faults.preemption_hourly_p)
+            ttl = lifetime.sample_lifetime(self.rngs.stream(f"preempt:{cid}"))
+            if np.isfinite(ttl):
+                self.sim.schedule(ttl, lambda c=client, s=spec: self._preempt(c, s))
+        return client
+
+    def _schedule_next_volunteer(self) -> None:
+        """Poisson arrivals of volunteer hosts (§II-A churn).
+
+        Each arrival launches a fresh client (round-robin spec); arrivals
+        stop at ``max_volunteers`` extra hosts.
+        """
+        faults = self.config.faults
+        if (
+            faults.max_volunteers
+            and self._volunteers_joined >= faults.max_volunteers
+        ):
+            return
+        rate_per_s = faults.volunteer_arrivals_per_hour / 3600.0
+        gap = float(self.rngs.stream("volunteers").exponential(1.0 / rate_per_s))
+
+        def arrive() -> None:
+            self._volunteers_joined += 1
+            spec = self.config.spec_for_client(self._client_counter)
+            client = self._launch_client(spec)
+            self.trace.emit(
+                self.sim.now, "fleet.volunteer_joined", client=client.client_id
+            )
+            client.poll_for_work()
+            self._schedule_next_volunteer()
+
+        self.sim.schedule(gap, arrive, label="fleet:volunteer-arrival")
+
+    def _preempt(self, client: ClientDaemon, spec) -> None:
+        if not client.alive:
+            return
+        self.preemptions += 1
+        self.trace.emit(self.sim.now, "fleet.preemption", client=client.client_id)
+        client.terminate()
+        delay = self.config.faults.relaunch_delay_s
+        if delay is not None:
+            def relaunch() -> None:
+                fresh = self._launch_client(spec)
+                fresh.poll_for_work()
+
+            self.sim.schedule(delay, relaunch, label="fleet:relaunch")
+
+    # ------------------------------------------------------------------
+    # Client-side subtask execution (real training)
+    # ------------------------------------------------------------------
+    def _client_model(self, client_id: str) -> Module:
+        model = self._client_models.get(client_id)
+        if model is None:
+            # Architecture comes from the downloaded spec; weights will be
+            # overwritten by the downloaded parameter file, so the init RNG
+            # here only needs to be deterministic, not meaningful.
+            model = build_model(self.config.model, self.rngs.fresh(f"model:{client_id}"))
+            self._client_models[client_id] = model
+        return model
+
+    def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[np.ndarray, int]:
+        """Train on the shard starting from the downloaded server params."""
+        cfg = self.config.local_training
+        client_id = wu.current_attempt.client_id
+        model = self._client_model(client_id)
+        param_vec = payloads[wu.input_files[1]]  # the parameter file
+        self._wu_base_version[wu.wu_id] = self._payload_versions.get(
+            id(param_vec), 0
+        )
+        shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
+        model.load_state_dict(vector_to_state(param_vec, self._template_state))
+        model.train()
+        if cfg.optimizer == "adam":
+            opt = Adam(model.parameters(), lr=cfg.learning_rate)
+        else:
+            opt = SGD(model.parameters(), lr=cfg.learning_rate)
+        if self.config.replicas > 1:
+            # Replicas must be bit-reproducible across hosts: derive the
+            # batch order from the logical workunit, not from the client.
+            batch_rng = self.rngs.fresh(f"batches:{logical_id(wu.wu_id)}")
+        else:
+            batch_rng = self.rngs.stream(f"batches:{client_id}")
+        loader = BatchLoader(shard, cfg.batch_size, rng=batch_rng)
+        for _ in range(cfg.local_epochs):
+            for xb, yb in loader:
+                model.zero_grad()
+                loss = cross_entropy(model(Tensor(xb)), yb)
+                loss.backward()
+                opt.step()
+        new_vec = state_to_vector(model.state_dict())
+        new_vec = self._maybe_corrupt(client_id, new_vec)
+        return new_vec, self._param_wire_bytes
+
+    def _maybe_corrupt(self, client_id: str, vec: np.ndarray) -> np.ndarray:
+        """Fault injection: designated clients upload perturbed parameters.
+
+        Corruption is *subtle* (finite, bounded noise) so it passes the
+        validator's sanity checks — exactly the threat replication with
+        quorum exists to catch.
+        """
+        faults = self.config.faults
+        if faults.corrupt_clients == 0:
+            return vec
+        try:
+            index = int(client_id.rsplit("-", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - ids are ours
+            return vec
+        if index >= faults.corrupt_clients:
+            return vec
+        rng = self.rngs.stream(f"corrupt:{client_id}")
+        scale = faults.corruption_scale * float(np.abs(vec).mean())
+        self.trace.emit(self.sim.now, "fault.corrupt_upload", client=client_id)
+        return vec + rng.normal(scale=max(scale, 1e-12), size=vec.shape)
+
+    # ------------------------------------------------------------------
+    # Server-side hooks
+    # ------------------------------------------------------------------
+    def _evaluate_vec(self, vec: np.ndarray) -> tuple[float, float]:
+        """Validation loss/accuracy of a parameter vector (real eval)."""
+        self._eval_model.load_state_dict(vector_to_state(vec, self._template_state))
+        return evaluate_classifier(self._eval_model, self._val_x, self._val_y)
+
+    def _test_accuracy(self, vec: np.ndarray) -> float:
+        self._eval_model.load_state_dict(vector_to_state(vec, self._template_state))
+        _, acc = evaluate_classifier(self._eval_model, self.test_set.x, self.test_set.y)
+        return acc
+
+    def _republish_params(self, vec: np.ndarray) -> None:
+        """Expose the merged server copy as the downloadable parameter file."""
+        self._param_publish_count += 1
+        self._payload_versions[id(vec)] = self._param_publish_count
+        self.server.catalog.publish(
+            ServerFile(
+                name=PARAM_FILE,
+                payload=vec,
+                raw_size=self._param_raw_bytes,
+                compressed_size=self._param_wire_bytes,
+                sticky=False,
+            )
+        )
+
+    def _cancel_sibling_replicas(self, logical: str) -> None:
+        """Quorum reached: abort the outstanding sibling replicas so their
+        hosts stop burning cycles (BOINC's redundant-result cancellation)."""
+        from ..boinc.replication import replica_id
+
+        for replica in range(self.config.replicas):
+            wu_id = replica_id(logical, replica)
+            wu = self.server.scheduler._workunits.get(wu_id)
+            if wu is None or wu.is_terminal or wu.state is WorkunitState.VALIDATING:
+                continue
+            computing_client = self.server.scheduler.cancel_workunit(wu_id)
+            if computing_client is not None:
+                client = self.server.clients.get(computing_client)
+                if client is not None and client.alive:
+                    client.abort_workunit(wu_id)
+        self.server.poke_clients()
+
+    def _on_assimilated(self, wu: Workunit) -> None:
+        if wu.epoch == self._current_epoch:
+            self._epoch_assimilated += 1
+        base = self._wu_base_version.pop(wu.wu_id, None)
+        if base is not None:
+            self.staleness_samples.append(self._param_publish_count - base)
+
+    # ------------------------------------------------------------------
+    # Epoch loop
+    # ------------------------------------------------------------------
+    def _publish_epoch(self) -> None:
+        param_file = PARAM_FILE
+        if self.config.replicas > 1:
+            # BOINC workunit input files are immutable: with replication the
+            # epoch's subtasks reference a *frozen* parameter copy so that
+            # sibling replicas are bit-reproducible and can reach quorum.
+            param_file = f"{PARAM_FILE}:e{self._current_epoch:03d}"
+            frozen = self.pool.current_params().copy()
+            self.server.catalog.publish(
+                ServerFile(
+                    name=param_file,
+                    payload=frozen,
+                    raw_size=self._param_raw_bytes,
+                    compressed_size=self._param_wire_bytes,
+                    sticky=False,
+                )
+            )
+        self._epoch_workunits = self.work_generator.make_epoch(
+            self._current_epoch, param_file, replicas=self.config.replicas
+        )
+        self._epoch_assimilated = 0
+        self.server.publish_workunits(self._epoch_workunits)
+        self.trace.emit(self.sim.now, "epoch.start", epoch=self._current_epoch)
+
+    def _epoch_complete(self) -> bool:
+        if not all(wu.is_terminal for wu in self._epoch_workunits):
+            return False
+        done = sum(
+            1 for wu in self._epoch_workunits if wu.state is WorkunitState.DONE
+        )
+        return self._epoch_assimilated >= done
+
+    def _record_epoch(self) -> EpochRecord:
+        epoch = self._current_epoch
+        succeeded = [
+            wu for wu in self._epoch_workunits if wu.state is WorkunitState.DONE
+        ]
+        if not succeeded:
+            raise TrainingError(
+                f"epoch {epoch + 1}: every subtask failed permanently; "
+                "check fault configuration"
+            )
+        mean, lo, hi = self.pool.epoch_accuracy_summary(epoch)
+        current = self.pool.current_params()
+        record = EpochRecord(
+            epoch=epoch + 1,
+            end_time_s=self.sim.now + self._time_offset,
+            val_accuracy_mean=mean,
+            val_accuracy_min=lo,
+            val_accuracy_max=hi,
+            test_accuracy=self._test_accuracy(current),
+            alpha=self.config.alpha_schedule.alpha_at(epoch + 1),
+            assimilations=self._epoch_assimilated,
+            timeouts_so_far=self.server.scheduler.timeouts,
+            lost_updates_so_far=getattr(self.store, "lost_updates", 0),
+        )
+        self.trace.emit(
+            self.sim.now, "epoch.end", epoch=epoch, accuracy=mean, spread=hi - lo
+        )
+        return record
+
+    def run(self) -> RunResult:
+        """Execute the full training job; returns the per-epoch results."""
+        config = self.config
+        self._publish_epoch()
+        while True:
+            progressed = self.sim.step()
+            if not progressed:
+                raise TrainingError(
+                    "simulation stalled: no events pending but the epoch "
+                    f"{self._current_epoch + 1} is incomplete "
+                    f"(unsent={self.server.scheduler.unsent_count()}, "
+                    f"in_progress={self.server.scheduler.in_progress_count()})"
+                )
+            if not self._epoch_complete():
+                continue
+            record = self._record_epoch()
+            self.result.append(record)
+            reached_target = (
+                config.target_accuracy is not None
+                and record.val_accuracy_mean >= config.target_accuracy
+            )
+            if reached_target:
+                self.result.stopped_reason = "target_accuracy"
+                break
+            if self._current_epoch + 1 >= config.max_epochs:
+                self.result.stopped_reason = "max_epochs"
+                break
+            self._current_epoch += 1
+            self._publish_epoch()
+        self._finalize_counters()
+        return self.result
+
+    def _finalize_counters(self) -> None:
+        sched = self.server.scheduler
+        self.result.counters = {
+            "timeouts": sched.timeouts,
+            "reissues": sched.reissues,
+            "cancellations": sched.cancellations,
+            "heartbeats": sched.heartbeats,
+            "preemptions": self.preemptions,
+            "assimilations": self.pool.stats.processed,
+            "lost_updates": getattr(self.store, "lost_updates", 0),
+            "store_updates": self.store.updates,
+            "bytes_down": self.server.web.bytes_down,
+            "bytes_up": self.server.web.bytes_up,
+            "cache_hits": sum(c.cache.hits for c in self.server.clients.values()),
+            "cache_misses": sum(c.cache.misses for c in self.server.clients.values()),
+            "volunteers_joined": self._volunteers_joined,
+        }
+        if self.staleness_samples:
+            samples = np.asarray(self.staleness_samples)
+            self.result.counters["mean_staleness_x100"] = int(
+                round(100 * float(samples.mean()))
+            )
+            self.result.counters["max_staleness"] = int(samples.max())
+        if isinstance(self.pool, AutoscalingPool):
+            self.result.counters.update(
+                {
+                    "ps_scale_ups": self.pool.scale_ups,
+                    "ps_scale_downs": self.pool.scale_downs,
+                    "ps_final_workers": self.pool.num_servers,
+                }
+            )
+        if self.quorum is not None:
+            self.result.counters.update(
+                {
+                    "quorums_reached": self.quorum.quorums_reached,
+                    "replica_disagreements": self.quorum.disagreements,
+                    "replicas_discarded": self.quorum.discarded_extras,
+                }
+            )
+
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the job for later resumption (server-failure recovery)."""
+        return Checkpoint.from_result(self.result, self.pool.current_params())
+
+
+def run_experiment(
+    config: TrainingJobConfig, resume_from: Checkpoint | None = None
+) -> RunResult:
+    """Convenience wrapper: build a runner and execute the job."""
+    return DistributedRunner(config, resume_from=resume_from).run()

@@ -1,0 +1,99 @@
+"""Dataset container with ``.npz``-style serialization.
+
+A :class:`Dataset` is an immutable (features, labels) pair.  Shards of the
+training set travel to clients as compressed ``.npz`` blobs, exactly like
+the paper's 3.9 MB per-shard files; :meth:`Dataset.to_bytes` produces the
+blob whose size the network-transfer model charges for.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..errors import SerializationError, ShapeError
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """Immutable labelled dataset.
+
+    Parameters
+    ----------
+    x:
+        Feature array; first axis indexes samples.
+    y:
+        Integer label array of shape ``(len(x),)``.
+    name:
+        Optional human-readable tag (e.g. ``"train"``, ``"shard-07"``).
+    """
+
+    __slots__ = ("x", "y", "name")
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, name: str = "") -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ShapeError(f"x has {len(x)} samples but y has {len(y)}")
+        if y.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {y.shape}")
+        self.x = x
+        self.y = y
+        self.name = name
+        x.setflags(write=False)
+        y.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"Dataset({len(self)} samples, x.shape={self.x.shape}{tag})"
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct label values assuming labels are 0..K-1."""
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+    def subset(self, indices: np.ndarray, name: str = "") -> "Dataset":
+        """Return the sub-dataset selected by ``indices`` (copies)."""
+        indices = np.asarray(indices)
+        return Dataset(self.x[indices].copy(), self.y[indices].copy(), name=name)
+
+    def shuffled(self, rng: np.random.Generator, name: str = "") -> "Dataset":
+        """Return a copy with rows permuted."""
+        perm = rng.permutation(len(self))
+        return self.subset(perm, name=name or self.name)
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels (length = num_classes)."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    # -- serialization --------------------------------------------------
+    def to_bytes(self, compress: bool = True) -> bytes:
+        """Serialize to a (compressed) ``.npz`` blob — the shard file."""
+        buf = io.BytesIO()
+        save = np.savez_compressed if compress else np.savez
+        save(buf, x=self.x, y=self.y, name=np.asarray(self.name))
+        return buf.getvalue()
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "Dataset":
+        """Inverse of :meth:`to_bytes`."""
+        try:
+            with np.load(io.BytesIO(blob)) as archive:
+                return Dataset(
+                    archive["x"].copy(),
+                    archive["y"].copy(),
+                    name=str(archive["name"]),
+                )
+        except ShapeError:
+            raise
+        except Exception as exc:
+            raise SerializationError(f"cannot decode dataset blob: {exc}") from exc
+
+    def nbytes(self, compress: bool = True) -> int:
+        """Serialized size in bytes (what the web server actually transfers)."""
+        return len(self.to_bytes(compress=compress))

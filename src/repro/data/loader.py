@@ -1,0 +1,51 @@
+"""Mini-batch iteration over a :class:`~repro.data.dataset.Dataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dataset import Dataset
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Iterate (x, y) mini-batches, optionally reshuffling each pass.
+
+    Unlike framework data loaders there is no worker pool: datasets here are
+    in-memory arrays and slicing is already vectorized.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.rng = rng
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if self.rng is not None:
+            order = self.rng.permutation(n)
+        else:
+            order = np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]

@@ -1,0 +1,83 @@
+"""Dataset sharding — the work generator's data split (§III-A).
+
+The paper's work generator "splits the DL training dataset into subsets";
+with CIFAR10 it uses 50 shards of 1 000 images each.  Three strategies are
+provided:
+
+* ``contiguous`` — slice the dataset in order (cheapest; what a file-based
+  splitter does);
+* ``shuffled`` — permute once, then slice (the default: balanced classes in
+  expectation);
+* ``stratified`` — round-robin per class, guaranteeing near-equal class
+  counts in every shard.
+
+Shard identity is stable across epochs: the paper reuses the same 50 data
+files every epoch, relying on BOINC sticky files to avoid re-download.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dataset import Dataset
+
+__all__ = ["split_dataset", "shard_name"]
+
+
+def shard_name(index: int, total: int) -> str:
+    """Stable shard file name, e.g. ``shard-07-of-50``."""
+    width = len(str(total - 1))
+    return f"shard-{index:0{width}d}-of-{total}"
+
+
+def split_dataset(
+    dataset: Dataset,
+    num_shards: int,
+    rng: np.random.Generator | None = None,
+    strategy: str = "shuffled",
+) -> list[Dataset]:
+    """Split ``dataset`` into ``num_shards`` near-equal shards.
+
+    Sizes differ by at most one sample.  ``rng`` is required for the
+    ``shuffled`` strategy and ignored otherwise.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+    if num_shards > len(dataset):
+        raise ConfigurationError(
+            f"cannot split {len(dataset)} samples into {num_shards} shards"
+        )
+
+    if strategy == "contiguous":
+        order = np.arange(len(dataset))
+    elif strategy == "shuffled":
+        if rng is None:
+            raise ConfigurationError("'shuffled' strategy requires an rng")
+        order = rng.permutation(len(dataset))
+    elif strategy == "stratified":
+        order = _stratified_order(dataset)
+    else:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; expected contiguous|shuffled|stratified"
+        )
+
+    chunks = np.array_split(order, num_shards)
+    return [
+        dataset.subset(chunk, name=shard_name(i, num_shards))
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def _stratified_order(dataset: Dataset) -> np.ndarray:
+    """Interleave samples class-by-class so equal slices stay balanced."""
+    y = dataset.y
+    classes = np.unique(y)
+    per_class = [np.flatnonzero(y == c) for c in classes]
+    longest = max(len(idx) for idx in per_class)
+    order: list[int] = []
+    for i in range(longest):
+        for idx in per_class:
+            if i < len(idx):
+                order.append(int(idx[i]))
+    return np.asarray(order)

@@ -1,0 +1,96 @@
+"""Synthetic time-series forecasting data (§V).
+
+The paper's future-work section singles out time-series forecasting as a
+workload with the *opposite* profile to image classification: small data,
+less amenable to data-parallel sharding, better suited to vertical
+scaling.  This module provides the substrate to study that: a seeded
+generator of multi-component series (trend + seasonality + AR noise) and
+the sliding-window transform that turns a series into a supervised
+forecasting dataset compatible with :class:`repro.data.Dataset` consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["TimeSeriesConfig", "generate_series", "windowed_dataset", "train_val_split_series"]
+
+
+@dataclass(frozen=True)
+class TimeSeriesConfig:
+    """Shape of the synthetic series."""
+
+    length: int = 1200
+    trend_slope: float = 0.002
+    seasonal_period: int = 48
+    seasonal_amplitude: float = 1.0
+    ar_coefficient: float = 0.7
+    noise_std: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.length < 8:
+            raise ConfigurationError("series too short")
+        if self.seasonal_period < 2:
+            raise ConfigurationError("seasonal_period must be >= 2")
+        if not -1.0 < self.ar_coefficient < 1.0:
+            raise ConfigurationError("ar_coefficient must be in (-1, 1) for stationarity")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+
+
+def generate_series(cfg: TimeSeriesConfig, rng: np.random.Generator) -> np.ndarray:
+    """One series: linear trend + sinusoidal seasonality + AR(1) noise."""
+    t = np.arange(cfg.length, dtype=np.float64)
+    trend = cfg.trend_slope * t
+    seasonal = cfg.seasonal_amplitude * np.sin(2 * np.pi * t / cfg.seasonal_period)
+    shocks = rng.normal(scale=cfg.noise_std, size=cfg.length)
+    noise = np.empty(cfg.length)
+    noise[0] = shocks[0]
+    for i in range(1, cfg.length):
+        noise[i] = cfg.ar_coefficient * noise[i - 1] + shocks[i]
+    return trend + seasonal + noise
+
+
+def windowed_dataset(
+    series: np.ndarray, window: int, horizon: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding-window supervised pairs.
+
+    Returns ``(x, y)``: ``x[i]`` is ``series[i : i+window]`` and ``y[i]``
+    is the value ``horizon`` steps after the window.  Vectorized with
+    stride tricks (no Python loop over windows).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ConfigurationError("series must be 1-D")
+    if window < 1 or horizon < 1:
+        raise ConfigurationError("window and horizon must be >= 1")
+    n = series.size - window - horizon + 1
+    if n <= 0:
+        raise ConfigurationError(
+            f"series of length {series.size} too short for window={window}, "
+            f"horizon={horizon}"
+        )
+    stride = series.strides[0]
+    x = np.lib.stride_tricks.as_strided(
+        series, shape=(n, window), strides=(stride, stride), writeable=False
+    ).copy()
+    y = series[window + horizon - 1 :][:n].copy()
+    return x, y
+
+
+def train_val_split_series(
+    x: np.ndarray, y: np.ndarray, val_fraction: float = 0.2
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological split (never shuffle time series!): the validation
+    windows come strictly after every training window."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ConfigurationError("val_fraction must be in (0, 1)")
+    cut = int(len(x) * (1.0 - val_fraction))
+    if cut == 0 or cut == len(x):
+        raise ConfigurationError("split leaves an empty side")
+    return x[:cut], y[:cut], x[cut:], y[cut:]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError`` from user code, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ShapeError(ReproError):
+    """Array shapes are incompatible for the requested operation."""
+
+
+class GradientError(ReproError):
+    """Autograd failure: backward on a non-scalar, detached graph, etc."""
+
+
+class SerializationError(ReproError):
+    """Parameter/model (de)serialization failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """BOINC-like scheduler invariant violation."""
+
+
+class WorkunitError(ReproError):
+    """Illegal workunit state transition or lookup."""
+
+
+class KVStoreError(ReproError):
+    """Key-value store failure (missing key, closed store, CAS conflict)."""
+
+
+class TrainingError(ReproError):
+    """A distributed training run failed or was misconfigured."""

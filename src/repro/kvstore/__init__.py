@@ -1,0 +1,26 @@
+"""Parameter-store substrate: eventual (Redis-like) vs strong (MySQL-like)."""
+
+from .base import KVStore, payload_nbytes
+from .eventual import EventualStore
+from .latency import (
+    PAPER_MYSQL_UPDATE_S,
+    PAPER_PARAM_BYTES,
+    PAPER_REDIS_UPDATE_S,
+    StoreLatency,
+    mysql_like_latency,
+    redis_like_latency,
+)
+from .strong import StrongStore
+
+__all__ = [
+    "KVStore",
+    "payload_nbytes",
+    "EventualStore",
+    "StrongStore",
+    "StoreLatency",
+    "redis_like_latency",
+    "mysql_like_latency",
+    "PAPER_PARAM_BYTES",
+    "PAPER_REDIS_UPDATE_S",
+    "PAPER_MYSQL_UPDATE_S",
+]

@@ -1,0 +1,130 @@
+"""Key-value store interface shared by the eventual and strong stores.
+
+Stores are *simulation-aware active objects*: mutating operations complete
+asynchronously after a modeled latency on the shared
+:class:`~repro.simulation.engine.Simulator`.  A synchronous face
+(``get_now`` / ``put_now``) exists for setup code and tests.
+
+Values are arbitrary Python objects; the latency model needs a byte size,
+which is taken from ``value.nbytes`` for arrays, ``len()`` for bytes, or a
+caller-provided override.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import KVStoreError
+from ..simulation.engine import Simulator
+from ..simulation.tracing import Trace
+from .latency import StoreLatency
+
+__all__ = ["payload_nbytes", "KVStore"]
+
+
+def payload_nbytes(value: Any, override: int | None = None) -> int:
+    """Byte size of a value for latency accounting."""
+    if override is not None:
+        return override
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    # Fallback: small control values (counters, flags).
+    return 64
+
+
+class KVStore:
+    """Abstract asynchronous key-value store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: StoreLatency,
+        name: str = "kvstore",
+        trace: Trace | None = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.name = name
+        self.trace = trace
+        self._data: dict[str, Any] = {}
+        self._versions: dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.updates = 0
+
+    # -- synchronous face (setup/test use; charges no simulated time) ---
+    def get_now(self, key: str) -> Any:
+        """Synchronous read (no simulated latency); raises on missing key."""
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KVStoreError(f"{self.name}: missing key {key!r}") from None
+
+    def put_now(self, key: str, value: Any) -> None:
+        """Synchronous write (no simulated latency); bumps the key version."""
+        self._data[key] = value
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` currently has a committed value."""
+        return key in self._data
+
+    def version(self, key: str) -> int:
+        """Monotonic per-key write counter (0 if never written)."""
+        return self._versions.get(key, 0)
+
+    def keys(self) -> list[str]:
+        """Sorted list of committed keys."""
+        return sorted(self._data)
+
+    # -- asynchronous face ------------------------------------------------
+    def read(
+        self, key: str, on_done: Callable[[Any], None], nbytes: int | None = None
+    ) -> None:
+        """Read ``key``; ``on_done(value)`` fires after the read latency."""
+        value = self.get_now(key)
+        self.reads += 1
+        delay = self.latency.read(payload_nbytes(value, nbytes))
+        self.sim.schedule(delay, lambda: on_done(value), label=f"{self.name}:read")
+
+    def write(
+        self,
+        key: str,
+        value: Any,
+        on_done: Callable[[], None] | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        """Write ``key``; visible (and ``on_done`` fired) after write latency."""
+        self.writes += 1
+        delay = self.latency.write(payload_nbytes(value, nbytes))
+
+        def commit() -> None:
+            self.put_now(key, value)
+            if on_done is not None:
+                on_done()
+
+        self.sim.schedule(delay, commit, label=f"{self.name}:write")
+
+    def read_modify_write(
+        self,
+        key: str,
+        transform: Callable[[Any], Any],
+        on_done: Callable[[Any], None] | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        """Atomically-or-not apply ``transform`` to the stored value.
+
+        Consistency semantics are subclass-defined: the strong store
+        serializes transactions per key; the eventual store lets them race
+        (lost updates possible).  ``on_done(new_value)`` fires at commit.
+        """
+        raise NotImplementedError
+
+    # -- instrumentation ---------------------------------------------------
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, kind, store=self.name, **fields)

@@ -1,0 +1,77 @@
+"""Eventually consistent main-memory store (the Redis analogue, §III-D).
+
+Read-modify-write transactions do **not** take a lock: each transaction
+snapshots the value at start, computes locally, and blind-writes the result
+after the modeled latency.  When two transactions on the same key overlap,
+the later commit clobbers the earlier one — a *lost update*.  The store
+counts them, because §III-D's scalability argument rests on distributed
+training tolerating exactly this loss.
+
+``lost_updates`` is a **conservative upper bound** on truly lost effects:
+it counts every clobbered committed version once, but a clobbered write's
+effect can still survive when a third concurrent transaction snapshotted
+it before the clobber.  The bound is what matters for the §III-D
+trade-off analysis ("at most this many updates were dropped").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import KVStore, payload_nbytes
+
+__all__ = ["EventualStore"]
+
+
+class EventualStore(KVStore):
+    """Lock-free last-writer-wins key-value store."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.lost_updates = 0
+        self.in_flight: dict[str, int] = {}
+        # Versions whose effect has already been counted as clobbered, so
+        # overlapping stale commits don't double-count the same victim.
+        self._counted_lost: dict[str, set[int]] = {}
+
+    def read_modify_write(
+        self,
+        key: str,
+        transform: Callable[[Any], Any],
+        on_done: Callable[[Any], None] | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        snapshot = self.get_now(key)
+        snapshot_version = self.version(key)
+        self.updates += 1
+        self.in_flight[key] = self.in_flight.get(key, 0) + 1
+        size = payload_nbytes(snapshot, nbytes)
+        delay = self.latency.update(size)
+
+        def commit() -> None:
+            self.in_flight[key] -= 1
+            current = self.version(key)
+            newly_lost = 0
+            if current > snapshot_version:
+                # Our write is based on a stale snapshot: intervening
+                # commits' effects are overwritten.  Count each victim
+                # version once, even under many-way races.
+                counted = self._counted_lost.setdefault(key, set())
+                for version in range(snapshot_version + 1, current + 1):
+                    if version not in counted:
+                        counted.add(version)
+                        newly_lost += 1
+                self.lost_updates += newly_lost
+                if newly_lost:
+                    self._emit("kv.lost_update", key=key, clobbered=newly_lost)
+            new_value = transform(snapshot)
+            self.put_now(key, new_value)
+            self._emit("kv.update", key=key, latency=delay, lost=newly_lost)
+            if on_done is not None:
+                on_done(new_value)
+
+        self.sim.schedule(delay, commit, label=f"{self.name}:rmw")
+
+    def concurrent_transactions(self, key: str) -> int:
+        """Number of in-flight RMW transactions touching ``key``."""
+        return self.in_flight.get(key, 0)

@@ -1,0 +1,87 @@
+"""Per-operation latency models for the parameter stores.
+
+The paper measures a full parameter-update transaction (a ~21.2 MB value)
+at **0.87 s on Redis** and **1.29 s on MySQL** (§IV-D).  We decompose each
+operation into a fixed overhead plus a per-byte cost and calibrate both
+profiles so that a 21.2 MB value reproduces the paper's numbers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "StoreLatency",
+    "redis_like_latency",
+    "mysql_like_latency",
+    "PAPER_PARAM_BYTES",
+    "PAPER_REDIS_UPDATE_S",
+    "PAPER_MYSQL_UPDATE_S",
+]
+
+# Anchors from §IV-A / §IV-D of the paper.
+PAPER_PARAM_BYTES = int(21.2 * 1024 * 1024)  # the 21.2 MB compressed .h5 file
+PAPER_REDIS_UPDATE_S = 0.87
+PAPER_MYSQL_UPDATE_S = 1.29
+
+
+@dataclass(frozen=True)
+class StoreLatency:
+    """Affine latency model: ``base + nbytes * per_byte`` per operation.
+
+    ``write_factor`` scales writes relative to reads (strong-consistency
+    stores pay for WAL + index maintenance on writes).
+    """
+
+    base_s: float
+    per_byte_s: float
+    write_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_byte_s < 0 or self.write_factor <= 0:
+            raise ConfigurationError(f"invalid latency model {self}")
+
+    def read(self, nbytes: int) -> float:
+        """Seconds to read a value of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative payload size {nbytes}")
+        return self.base_s + nbytes * self.per_byte_s
+
+    def write(self, nbytes: int) -> float:
+        """Seconds to write a value of ``nbytes`` (scaled by write_factor)."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative payload size {nbytes}")
+        return (self.base_s + nbytes * self.per_byte_s) * self.write_factor
+
+    def update(self, nbytes: int) -> float:
+        """One read-modify-write round on a value of ``nbytes``.
+
+        The paper's quoted figures are for the full update transaction, so
+        this is the calibration target.  We attribute half the transaction
+        to the read and half (scaled) to the write.
+        """
+        return 0.5 * self.read(nbytes) + 0.5 * self.write(nbytes)
+
+
+def _calibrated(total_update_s: float, base_s: float, write_factor: float) -> StoreLatency:
+    """Solve per_byte so update(PAPER_PARAM_BYTES) == total_update_s."""
+    # update(n) = 0.5*(base + n*pb) + 0.5*(base + n*pb)*wf
+    #           = base*(1+wf)/2 + n*pb*(1+wf)/2
+    scale = (1.0 + write_factor) / 2.0
+    per_byte = (total_update_s - base_s * scale) / (PAPER_PARAM_BYTES * scale)
+    if per_byte < 0:
+        raise ConfigurationError("base latency exceeds calibration target")
+    return StoreLatency(base_s=base_s, per_byte_s=per_byte, write_factor=write_factor)
+
+
+def redis_like_latency() -> StoreLatency:
+    """Main-memory store profile: tiny fixed cost, calibrated to 0.87 s."""
+    return _calibrated(PAPER_REDIS_UPDATE_S, base_s=0.002, write_factor=1.0)
+
+
+def mysql_like_latency() -> StoreLatency:
+    """Relational store profile: higher fixed cost and write amplification,
+    calibrated to 1.29 s (the LONGBLOB transaction of §IV-D)."""
+    return _calibrated(PAPER_MYSQL_UPDATE_S, base_s=0.020, write_factor=1.35)

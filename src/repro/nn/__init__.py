@@ -1,0 +1,117 @@
+"""NumPy deep-learning substrate: autograd, layers, models, optimizers.
+
+This package stands in for the TensorFlow/Keras stack the paper trained
+with.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import functional
+from .conv import avg_pool2d, conv2d, global_avg_pool2d, im2col, max_pool2d
+from .initializers import get_initializer, he_normal
+from .layers import (
+    AvgPool2D,
+    BatchNorm,
+    LayerNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import cross_entropy, l2_penalty, mae_loss, mse_loss
+from .metrics import accuracy, confusion_matrix, evaluate_classifier, top_k_accuracy
+from .models import ModelSpec, build_model, make_convnet, make_mlp, make_resnetv2
+from .optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineLR,
+    LRSchedule,
+    Optimizer,
+    StepDecayLR,
+    WarmupLR,
+    clip_grad_norm,
+)
+from .rnn import RNN, Embedding, GRUCell, LSTMCell, RNNCell
+from .serialization import (
+    compressed_size,
+    state_checksum,
+    state_from_bytes,
+    state_num_scalars,
+    state_to_bytes,
+    state_to_vector,
+    vector_to_state,
+)
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "he_normal",
+    "get_initializer",
+    "Module",
+    "Parameter",
+    "Dense",
+    "Conv2D",
+    "BatchNorm",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Dropout",
+    "Sequential",
+    "Residual",
+    "cross_entropy",
+    "mse_loss",
+    "mae_loss",
+    "l2_penalty",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "evaluate_classifier",
+    "ModelSpec",
+    "build_model",
+    "make_mlp",
+    "make_convnet",
+    "make_resnetv2",
+    "RNN",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "Embedding",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "state_to_bytes",
+    "state_from_bytes",
+    "state_to_vector",
+    "vector_to_state",
+    "state_num_scalars",
+    "state_checksum",
+    "compressed_size",
+]

@@ -1,0 +1,179 @@
+"""Convolution and pooling via im2col (vectorized, no Python pixel loops).
+
+The im2col transform rewrites a convolution as a single GEMM, which is the
+standard way to get NumPy-speed convolutions (see the HPC guide's advice to
+push work into vectorized kernels).  Layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor import Tensor
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces non-positive output size: input={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N*OH*OW, C*kh*kw).
+
+    Returns the column matrix plus the output spatial dims.  Built with
+    stride tricks: the intermediate 6-D view costs no copies; only the final
+    reshape materializes.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    # cols6: (N, C, kh, kw, OH, OW); add each kernel offset's contribution.
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, i, j]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
+    """2-D cross-correlation of NCHW input ``x`` with OIHW ``weight``.
+
+    Implemented as im2col + GEMM; the backward pass reuses the cached
+    column matrix for the weight gradient and col2im for the input gradient.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"conv2d expects NCHW input, got ndim={x.ndim}")
+    if weight.ndim != 4:
+        raise ShapeError(f"conv2d expects OIHW weight, got ndim={weight.ndim}")
+    n, c, h, w = x.shape
+    co, ci, kh, kw = weight.shape
+    if ci != c:
+        raise ShapeError(f"input has {c} channels but weight expects {ci}")
+
+    cols, oh, ow = im2col(x.data, kh, kw, stride, pad)
+    w2d = weight.data.reshape(co, ci * kh * kw)
+    out = cols @ w2d.T  # (N*OH*OW, CO)
+    if bias is not None:
+        out += bias.data
+    out = out.reshape(n, oh, ow, co).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g2d = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, co)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g2d.sum(axis=0))
+        if weight.requires_grad:
+            gw = g2d.T @ cols
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = g2d @ w2d
+            x._accumulate(col2im(gcols, (n, c, h, w), kh, kw, stride, pad))
+
+    return Tensor._make(np.ascontiguousarray(out), parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+    )
+    # cols: (N*C*OH*OW, kernel*kernel)
+    argmax = cols.argmax(axis=1)
+    out = cols[np.arange(cols.shape[0]), argmax]
+    out4 = out.reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gcols = np.zeros_like(cols)
+        gcols[np.arange(cols.shape[0]), argmax] = g.reshape(-1)
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out4, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    out = cols.mean(axis=1).reshape(n, c, oh, ow)
+    inv = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gcols = np.repeat(g.reshape(-1, 1), kernel * kernel, axis=1) * inv
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+    n, c, h, w = x.shape
+    out = x.data.mean(axis=(2, 3))
+    inv = 1.0 / (h * w)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.broadcast_to(g[:, :, None, None] * inv, x.shape).copy())
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,78 @@
+"""Loss functions.
+
+The reproduction trains classifiers with softmax cross-entropy (as the
+paper's CIFAR10 setup does); MSE/MAE are provided for the regression-style
+workloads (time-series forecasting) discussed in §V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "mae_loss", "l2_penalty"]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy between ``logits`` (N, C) and int labels (N,).
+
+    Fused log-softmax + NLL for numerical stability, with the standard
+    closed-form gradient ``(softmax - onehot) / N``.
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    n, c = logits.shape
+    if labels.min() < 0 or labels.max() >= c:
+        raise ShapeError(f"labels out of range [0, {c})")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    loss = -log_probs[np.arange(n), labels].mean()
+
+    def backward(g: np.ndarray) -> None:
+        if logits.requires_grad:
+            grad = np.exp(log_probs)
+            grad[np.arange(n), labels] -= 1.0
+            logits._accumulate(grad * (float(g) / n))
+
+    return Tensor._make(np.asarray(loss), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    if pred.shape != target_t.shape:
+        raise ShapeError(f"pred {pred.shape} vs target {target_t.shape}")
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean absolute error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    if pred.shape != target_t.shape:
+        raise ShapeError(f"pred {pred.shape} vs target {target_t.shape}")
+    return F.abs(pred - target_t).mean()
+
+
+def l2_penalty(parameters: list[Tensor], coefficient: float) -> Tensor:
+    """Sum of squared parameters times ``coefficient`` (weight decay).
+
+    The paper disables regularization; available for ablations.
+    """
+    total: Tensor | None = None
+    for p in parameters:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

@@ -1,0 +1,233 @@
+"""Optimizers and learning-rate schedules.
+
+The paper's clients train with **Adam at a constant learning rate of 0.001,
+no momentum tweaks, no weight decay** (§IV-A); plain SGD (with optional
+momentum) is the comparison workhorse and the single-instance baseline's
+optimizer option.  All updates are in place on the parameter buffers — the
+parameter arrays keep their identity, which matters because model state
+dicts alias them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .tensor import Tensor
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineLR",
+    "WarmupLR",
+    "clip_grad_norm",
+]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most
+    ``max_norm``; returns the pre-clip norm.
+
+    Standard protection for recurrent models (exploding BPTT gradients);
+    parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+class LRSchedule:
+    """Maps a step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        """Learning rate at the given 0-based step."""
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """The paper's setting: constant learning rate (0.001 for Adam)."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ConfigurationError("total_steps must be positive")
+        self.lr = lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        frac = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + np.cos(np.pi * frac))
+
+
+class WarmupLR(LRSchedule):
+    """Linear warmup to a base schedule's rate over ``warmup_steps``.
+
+    Useful when distributed merging starts from aggressive client updates;
+    wraps any other schedule.
+    """
+
+    def __init__(self, base: LRSchedule, warmup_steps: int) -> None:
+        if warmup_steps < 1:
+            raise ConfigurationError("warmup_steps must be >= 1")
+        self.base = base
+        self.warmup_steps = warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        target = self.base.lr_at(step)
+        if step >= self.warmup_steps:
+            return target
+        return target * (step + 1) / self.warmup_steps
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], schedule: LRSchedule) -> None:
+        self.parameters: Sequence[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer got an empty parameter list")
+        self.schedule = schedule
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        return self.schedule.lr_at(self.step_count)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on params."""
+        lr = self.lr
+        self.step_count += 1
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            self._update(i, p, lr)
+
+    def _update(self, index: int, p: Tensor, lr: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float | LRSchedule = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        schedule = lr if isinstance(lr, LRSchedule) else ConstantLR(lr)
+        super().__init__(parameters, schedule)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, p: Tensor, lr: float) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        if self.momentum:
+            v = self._velocity.get(index)
+            if v is None:
+                v = np.zeros_like(p.data)
+                self._velocity[index] = v
+            v *= self.momentum
+            v -= lr * grad
+            p.data += v
+        else:
+            p.data -= lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the paper's client-side optimizer.
+
+    Defaults match the paper: lr=0.001, standard betas, no weight decay.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float | LRSchedule = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        schedule = lr if isinstance(lr, LRSchedule) else ConstantLR(lr)
+        super().__init__(parameters, schedule)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, p: Tensor, lr: float) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        m = self._m.get(index)
+        if m is None:
+            m = np.zeros_like(p.data)
+            v = np.zeros_like(p.data)
+            self._m[index] = m
+            self._v[index] = v
+        else:
+            v = self._v[index]
+        t = self.step_count  # step() already incremented: t >= 1
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        p.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate: clock, resources, network, preemption."""
+
+from .congestion import CongestedLink, CongestionSchedule, diurnal_schedule
+from .engine import Simulator
+from .events import EventHandle, EventQueue
+from .network import NetworkLink, lan_link, wan_link
+from .preemption import (
+    BernoulliSubtaskModel,
+    ExponentialLifetime,
+    interruption_rate_per_hour,
+)
+from .resources import (
+    TABLE1_CLIENTS,
+    TABLE1_SERVER,
+    ComputeResource,
+    ComputeTask,
+    InstanceSpec,
+)
+from .rng import RngRegistry, stable_name_hash
+from .tracing import Trace, TraceRecord
+
+__all__ = [
+    "CongestedLink",
+    "CongestionSchedule",
+    "diurnal_schedule",
+    "Simulator",
+    "EventHandle",
+    "EventQueue",
+    "NetworkLink",
+    "lan_link",
+    "wan_link",
+    "InstanceSpec",
+    "ComputeResource",
+    "ComputeTask",
+    "TABLE1_SERVER",
+    "TABLE1_CLIENTS",
+    "ExponentialLifetime",
+    "BernoulliSubtaskModel",
+    "interruption_rate_per_hour",
+    "RngRegistry",
+    "stable_name_hash",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,87 @@
+"""Event queue primitives for the discrete-event simulator.
+
+A classic calendar queue on a binary heap: events are ordered by
+``(time, sequence)`` so simultaneous events fire in scheduling order
+(deterministic FIFO tie-break — essential for reproducibility).
+Cancellation is lazy: a cancelled handle stays in the heap and is skipped
+when popped, which keeps cancel O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """Opaque handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[[], None], label: str
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+        self.callback = _noop  # drop closure references promptly
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"EventHandle(t={self.time:.6g}, {self.label!r}{state})"
+
+
+def _noop() -> None:
+    return None
+
+
+class EventQueue:
+    """Min-heap of :class:`EventHandle` ordered by (time, sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        # Includes lazily-cancelled entries; use is_empty() for liveness.
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute ``time``; returns its handle."""
+        if time != time:  # NaN guard
+            raise SimulationError("cannot schedule an event at NaN time")
+        handle = EventHandle(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def pop(self) -> EventHandle:
+        """Pop the earliest live event; raises if the queue is drained."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        raise SimulationError("pop() from an empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if none remain."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def is_empty(self) -> bool:
+        """True when no live (non-cancelled) events remain."""
+        return self.peek_time() is None

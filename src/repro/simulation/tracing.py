@@ -1,0 +1,82 @@
+"""Structured event tracing for experiment analysis.
+
+Components emit typed records into a shared :class:`Trace`; the analysis
+layer and the benchmark harness read them back as filtered sequences or
+NumPy time series.  This replaces ad-hoc printf instrumentation and gives
+tests a stable surface to assert scheduling behaviour against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event: a kind tag plus free-form fields."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field value with a default, like ``dict.get``."""
+        return self.fields.get(key, default)
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self.counters: Counter[str] = Counter()
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event at simulated ``time``."""
+        self._records.append(TraceRecord(time, kind, fields))
+        self.counters[kind] += 1
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        """Bump a counter without storing a record (cheap hot-path stats)."""
+        self.counters[counter] += amount
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records with the given kind, in emission order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events (or counter bumps) of ``kind``."""
+        return self.counters.get(kind, 0)
+
+    def series(self, kind: str, field_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) arrays for one field of one record kind."""
+        recs = self.of_kind(kind)
+        times = np.asarray([r.time for r in recs])
+        values = np.asarray([r[field_name] for r in recs])
+        return times, values
+
+    def last(self, kind: str) -> TraceRecord | None:
+        """Most recent record of ``kind`` or None."""
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def summary(self) -> dict[str, int]:
+        """Counter snapshot (kind -> count), sorted by kind."""
+        return dict(sorted(self.counters.items()))

@@ -1,0 +1,81 @@
+"""ASCII chart renderer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart
+from repro.errors import ConfigurationError
+
+
+def simple_series():
+    x = np.linspace(0, 10, 20)
+    return {"up": (x, x), "down": (x, 10 - x)}
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(simple_series(), width=5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"bad": ([1, 2], [1, 2, 3])})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"bad": ([], [])})
+
+
+class TestRendering:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(simple_series(), width=40, height=10)
+        assert "o up" in out and "x down" in out
+        assert "o" in out and "x" in out
+
+    def test_title_and_labels(self):
+        out = ascii_chart(
+            simple_series(), width=40, height=10,
+            title="T", x_label="hours", y_label="acc",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "x: hours" in out and "y: acc" in out
+
+    def test_axis_bounds_shown(self):
+        out = ascii_chart({"s": ([0.0, 4.0], [0.25, 0.75])}, width=30, height=8)
+        assert "0.75" in out and "0.25" in out
+        assert "4" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """The 'up' series' marker column index increases with row height."""
+        x = np.linspace(0, 1, 10)
+        out = ascii_chart({"up": (x, x)}, width=30, height=10)
+        rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line]
+        cols = [row.index("o") for row in rows if "o" in row]
+        # Rows render top (high y) to bottom (low y), so the marker column
+        # decreases as we scan down for an increasing series.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"flat": ([0, 1, 2], [0.5, 0.5, 0.5])}, width=20, height=5)
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"dot": ([1.0], [1.0])}, width=20, height=5)
+        assert "o" in out
+
+    def test_many_series_cycle_markers(self):
+        x = [0.0, 1.0]
+        series = {f"s{i}": (x, [i, i + 1]) for i in range(10)}
+        out = ascii_chart(series, width=30, height=12)
+        assert "s9" in out  # all series in the legend
+
+    def test_chart_width_respected(self):
+        out = ascii_chart(simple_series(), width=40, height=8)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_lines)

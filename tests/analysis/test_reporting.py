@@ -1,0 +1,88 @@
+"""Reporting module tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import comparison_table, markdown_report, run_summary_table
+from repro.core import EpochRecord, RunResult
+
+
+def make_result(label: str, accs: list[float], epoch_s: float = 600.0) -> RunResult:
+    result = RunResult(label=label)
+    for i, acc in enumerate(accs, start=1):
+        result.append(
+            EpochRecord(
+                epoch=i,
+                end_time_s=i * epoch_s,
+                val_accuracy_mean=acc,
+                val_accuracy_min=acc - 0.01,
+                val_accuracy_max=acc + 0.01,
+                test_accuracy=acc - 0.02,
+                alpha=0.95,
+                assimilations=50,
+                timeouts_so_far=0,
+                lost_updates_so_far=0,
+            )
+        )
+    result.counters = {"timeouts": 3, "preemptions": 1, "lost_updates": 2}
+    result.stopped_reason = "max_epochs"
+    return result
+
+
+class TestSummaryTable:
+    def test_contains_headline_numbers(self):
+        table = run_summary_table([make_result("fast", [0.3, 0.6, 0.8])])
+        assert "fast" in table
+        assert "0.8" in table
+        assert "3" in table  # timeouts counter
+
+    def test_multiple_rows(self):
+        table = run_summary_table(
+            [make_result("a", [0.5]), make_result("b", [0.6])]
+        )
+        assert "a" in table and "b" in table
+
+    def test_no_negative_zero_fluctuation(self):
+        table = run_summary_table([make_result("mono", [0.1, 0.2, 0.3])])
+        assert "-0" not in table
+
+
+class TestComparisonTable:
+    def test_declares_winner(self):
+        fast = make_result("fast", [0.4, 0.7, 0.8], epoch_s=300.0)
+        slow = make_result("slow", [0.2, 0.5, 0.8], epoch_s=600.0)
+        table = comparison_table(fast, slow, thresholds=[0.5, 0.75])
+        lines = table.splitlines()
+        assert any("fast" in line for line in lines[2:])
+
+    def test_never_reached(self):
+        low = make_result("low", [0.2, 0.3])
+        high = make_result("high", [0.5, 0.9])
+        table = comparison_table(low, high, thresholds=[0.85])
+        assert "never" in table
+        assert "high" in table
+
+
+class TestMarkdownReport:
+    def test_structure(self):
+        report = markdown_report(
+            [make_result("a", [0.4, 0.6]), make_result("b", [0.3, 0.7])],
+            title="Demo",
+            thresholds=[0.5],
+        )
+        assert report.startswith("# Demo")
+        assert "## Summary" in report
+        assert "## a" in report and "## b" in report
+        assert "## Head-to-head" in report
+        assert "stopped: max_epochs" in report
+
+    def test_single_run_has_no_head_to_head(self):
+        report = markdown_report([make_result("solo", [0.5])])
+        assert "Head-to-head" not in report
+
+    def test_crossover_mentioned_when_present(self):
+        early = make_result("early", [0.6, 0.62, 0.63], epoch_s=600)
+        late = make_result("late", [0.2, 0.5, 0.9], epoch_s=600)
+        report = markdown_report([early, late], thresholds=[0.5])
+        assert "cross at" in report or "no crossover" in report

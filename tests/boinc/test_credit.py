@@ -1,0 +1,89 @@
+"""Credit ledger tests (the VC incentive mechanism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc.credit import CreditClaim, CreditLedger
+from repro.errors import ConfigurationError
+
+
+def claim(host: str, amount: float, wu: str = "wu0") -> CreditClaim:
+    return CreditClaim(host_id=host, wu_id=wu, claimed=amount)
+
+
+class TestValidation:
+    def test_negative_claim(self):
+        with pytest.raises(ConfigurationError):
+            claim("h1", -1.0)
+
+    def test_bad_half_life(self):
+        with pytest.raises(ConfigurationError):
+            CreditLedger(half_life_s=0)
+
+    def test_empty_quorum(self):
+        with pytest.raises(ConfigurationError):
+            CreditLedger().grant_quorum([], now=0.0)
+
+
+class TestGranting:
+    def test_single_grant(self):
+        ledger = CreditLedger()
+        granted = ledger.grant_single(claim("h1", 144.0), now=0.0)
+        assert granted == 144.0
+        assert ledger.host_total("h1") == 144.0
+        assert ledger.granted_total == 144.0
+
+    def test_quorum_grants_median(self):
+        """An inflated claim does not raise anyone's grant."""
+        ledger = CreditLedger()
+        grant = ledger.grant_quorum(
+            [claim("honest1", 100.0), claim("honest2", 102.0), claim("cheat", 10000.0)],
+            now=0.0,
+        )
+        assert grant == 102.0
+        assert ledger.host_total("cheat") == 102.0
+        assert ledger.host_total("honest1") == 102.0
+
+    def test_quorum_members_all_credited(self):
+        ledger = CreditLedger()
+        ledger.grant_quorum([claim("a", 50.0), claim("b", 50.0)], now=0.0)
+        assert ledger.host_total("a") == ledger.host_total("b") == 50.0
+        assert ledger.granted_total == 100.0
+
+    def test_denied_results_earn_nothing(self):
+        ledger = CreditLedger()
+        ledger.deny("flaky", now=0.0)
+        assert ledger.host_total("flaky") == 0.0
+        assert ledger.hosts["flaky"].results_denied == 1
+
+
+class TestRecentAverage:
+    def test_decays_with_half_life(self):
+        ledger = CreditLedger(half_life_s=100.0)
+        ledger.grant_single(claim("h1", 80.0), now=0.0)
+        board = ledger.leaderboard(now=100.0)  # one half-life later
+        assert board[0].recent_average == pytest.approx(40.0)
+        assert board[0].total == 80.0  # total never decays
+
+    def test_fresh_grants_add_after_decay(self):
+        ledger = CreditLedger(half_life_s=100.0)
+        ledger.grant_single(claim("h1", 80.0), now=0.0)
+        ledger.grant_single(claim("h1", 10.0), now=100.0)
+        assert ledger.host_total("h1") == 90.0
+        assert ledger.hosts["h1"].recent_average == pytest.approx(50.0)
+
+
+class TestLeaderboard:
+    def test_sorted_by_total(self):
+        ledger = CreditLedger()
+        ledger.grant_single(claim("small", 10.0), now=0.0)
+        ledger.grant_single(claim("big", 99.0), now=0.0)
+        board = ledger.leaderboard()
+        assert [h.host_id for h in board] == ["big", "small"]
+
+    def test_tie_breaks_by_id(self):
+        ledger = CreditLedger()
+        ledger.grant_single(claim("b", 10.0), now=0.0)
+        ledger.grant_single(claim("a", 10.0), now=0.0)
+        assert [h.host_id for h in ledger.leaderboard()] == ["a", "b"]

@@ -1,0 +1,150 @@
+"""File catalogue, sticky cache, and web-server transfer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc import FileCatalog, ServerFile, StickyCache, WebServer
+from repro.errors import ConfigurationError, SchedulerError
+from repro.simulation import NetworkLink
+
+
+@pytest.fixture
+def link() -> NetworkLink:
+    # 1000 B/s, zero latency: transfer time == bytes / 1000.
+    return NetworkLink(latency_s=0.0, bandwidth_bps=1000.0)
+
+
+@pytest.fixture
+def catalog() -> FileCatalog:
+    cat = FileCatalog()
+    cat.publish(
+        ServerFile("model", payload="spec", raw_size=3000, compressed_size=1000, sticky=True)
+    )
+    cat.publish(
+        ServerFile("params", payload=b"p", raw_size=2000, compressed_size=1800, sticky=False)
+    )
+    return cat
+
+
+class TestServerFile:
+    def test_wire_size_with_compression(self):
+        f = ServerFile("a", None, raw_size=100, compressed_size=40)
+        assert f.wire_size(compression_enabled=True) == 40
+        assert f.wire_size(compression_enabled=False) == 100
+
+    def test_incompressible_file(self):
+        f = ServerFile("a", None, raw_size=100, compressed_size=40, compressible=False)
+        assert f.wire_size(compression_enabled=True) == 100
+
+    def test_default_compressed_size(self):
+        f = ServerFile("a", None, raw_size=100)
+        assert f.compressed_size == 100
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerFile("a", None, raw_size=-1)
+
+
+class TestCatalog:
+    def test_publish_and_get(self, catalog):
+        assert catalog.get("model").payload == "spec"
+        assert "model" in catalog
+        assert catalog.names() == ["model", "params"]
+
+    def test_republish_replaces(self, catalog):
+        catalog.publish(ServerFile("params", payload=b"new", raw_size=10))
+        assert catalog.get("params").payload == b"new"
+
+    def test_missing_raises(self, catalog):
+        with pytest.raises(SchedulerError):
+            catalog.get("ghost")
+
+
+class TestStickyCache:
+    def test_add_and_hit(self):
+        cache = StickyCache(capacity_bytes=100)
+        cache.add("a", 40)
+        assert cache.has("a")
+        assert cache.used_bytes == 40
+
+    def test_lru_eviction(self):
+        cache = StickyCache(capacity_bytes=100)
+        cache.add("a", 50)
+        cache.add("b", 50)
+        cache.touch("a")  # 'b' becomes least recent
+        cache.add("c", 50)
+        assert cache.has("a") and cache.has("c") and not cache.has("b")
+
+    def test_re_add_refreshes_not_duplicates(self):
+        cache = StickyCache(capacity_bytes=100)
+        cache.add("a", 40)
+        cache.add("a", 40)
+        assert cache.used_bytes == 40
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            StickyCache(capacity_bytes=0)
+
+
+class TestWebServer:
+    def test_download_time_sums_uncached_files(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=True)
+        cache = StickyCache(1e6)
+        done: list[float] = []
+        web.download(["model", "params"], link, cache, lambda p: done.append(sim.now))
+        sim.run()
+        # model 1000 B + params 1800 B at 1000 B/s = 2.8 s.
+        assert done == pytest.approx([2.8])
+        assert web.bytes_down == 2800
+
+    def test_sticky_cached_file_is_free(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=True)
+        cache = StickyCache(1e6)
+        web.download(["model"], link, cache, lambda p: None)
+        sim.run()
+        start = sim.now
+        done: list[float] = []
+        web.download(["model"], link, cache, lambda p: done.append(sim.now))
+        sim.run()
+        assert done == [start]  # zero transfer time
+        assert cache.hits == 1
+
+    def test_non_sticky_always_transfers(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=True)
+        cache = StickyCache(1e6)
+        for _ in range(2):
+            web.download(["params"], link, cache, lambda p: None)
+            sim.run()
+        assert web.bytes_down == 3600
+        assert not cache.has("params")
+
+    def test_compression_disabled_charges_raw(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=False)
+        done: list[float] = []
+        web.download(["model"], link, None, lambda p: done.append(sim.now))
+        sim.run()
+        assert done == pytest.approx([3.0])  # 3000 raw bytes
+
+    def test_payloads_delivered(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=True)
+        got: dict = {}
+        web.download(["model", "params"], link, None, got.update)
+        sim.run()
+        assert got == {"model": "spec", "params": b"p"}
+
+    def test_upload_duration_and_accounting(self, sim, catalog, link):
+        web = WebServer(sim, catalog, compression_enabled=True)
+        done: list[float] = []
+        web.upload(500, link, lambda: done.append(sim.now))
+        sim.run()
+        assert done == pytest.approx([0.5])
+        assert web.bytes_up == 500
+
+    def test_trace_emission(self, sim, catalog, link, trace):
+        web = WebServer(sim, catalog, compression_enabled=True, trace=trace)
+        web.download(["model"], link, None, lambda p: None)
+        web.upload(100, link, lambda: None)
+        sim.run()
+        assert trace.count("web.download") == 1
+        assert trace.count("web.upload") == 1

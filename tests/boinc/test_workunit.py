@@ -1,0 +1,118 @@
+"""Workunit state-machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc import Workunit, WorkunitState
+from repro.errors import WorkunitError
+
+
+def make_wu(max_attempts: int = 3) -> Workunit:
+    return Workunit(
+        wu_id="job:e000:s000",
+        job_id="job",
+        epoch=0,
+        shard_index=0,
+        input_files=("model.json", "params.h5", "shard-00"),
+        work_units=144.0,
+        timeout_s=300.0,
+        max_attempts=max_attempts,
+    )
+
+
+class TestHappyPath:
+    def test_full_lifecycle(self):
+        wu = make_wu()
+        attempt = wu.mark_sent("c1", now=10.0)
+        assert wu.state is WorkunitState.IN_PROGRESS
+        assert attempt.deadline == 310.0
+        wu.mark_result_received(now=100.0)
+        assert wu.state is WorkunitState.VALIDATING
+        wu.mark_valid(now=101.0, result="payload")
+        assert wu.state is WorkunitState.DONE
+        assert wu.is_terminal
+        assert wu.completed_at == 101.0
+        assert wu.current_attempt.outcome == "success"
+
+    def test_shard_file_is_last_input(self):
+        assert make_wu().shard_file() == "shard-00"
+
+
+class TestTimeoutAndRetry:
+    def test_timeout_requeues(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        assert wu.mark_timeout(now=300.0) is True
+        assert wu.state is WorkunitState.UNSENT
+        assert wu.current_attempt.outcome == "timeout"
+
+    def test_attempt_budget_exhaustion_leads_to_error(self):
+        wu = make_wu(max_attempts=2)
+        wu.mark_sent("c1", now=0.0)
+        assert wu.mark_timeout(now=1.0) is True
+        wu.mark_sent("c2", now=2.0)
+        assert wu.mark_timeout(now=3.0) is False
+        assert wu.state is WorkunitState.ERROR
+        assert wu.is_terminal
+
+    def test_cannot_send_beyond_budget(self):
+        wu = make_wu(max_attempts=1)
+        wu.mark_sent("c1", now=0.0)
+        wu.mark_timeout(now=1.0)
+        with pytest.raises(WorkunitError):
+            wu.mark_sent("c2", now=2.0)
+
+    def test_client_error_requeues(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        assert wu.mark_client_error(now=5.0) is True
+        assert wu.state is WorkunitState.UNSENT
+
+    def test_invalid_result_requeues(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        wu.mark_result_received(now=1.0)
+        assert wu.mark_invalid(now=2.0) is True
+        assert wu.state is WorkunitState.UNSENT
+        assert wu.current_attempt.outcome == "invalid"
+
+    def test_retry_after_timeout_can_succeed(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        wu.mark_timeout(now=300.0)
+        wu.mark_sent("c2", now=301.0)
+        wu.mark_result_received(now=400.0)
+        wu.mark_valid(now=401.0, result=None)
+        assert wu.state is WorkunitState.DONE
+        assert wu.num_attempts == 2
+
+
+class TestIllegalTransitions:
+    def test_result_before_send(self):
+        with pytest.raises(WorkunitError):
+            make_wu().mark_result_received(now=0.0)
+
+    def test_double_send(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        with pytest.raises(WorkunitError):
+            wu.mark_sent("c2", now=1.0)
+
+    def test_valid_without_result(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        with pytest.raises(WorkunitError):
+            wu.mark_valid(now=1.0, result=None)
+
+    def test_timeout_after_done(self):
+        wu = make_wu()
+        wu.mark_sent("c1", now=0.0)
+        wu.mark_result_received(now=1.0)
+        wu.mark_valid(now=2.0, result=None)
+        with pytest.raises(WorkunitError):
+            wu.mark_timeout(now=3.0)
+
+    def test_current_attempt_before_any(self):
+        with pytest.raises(WorkunitError):
+            _ = make_wu().current_attempt

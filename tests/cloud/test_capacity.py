@@ -1,0 +1,127 @@
+"""Capacity-planner tests, cross-checked against the paper and the DES."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    cifar10_workload,
+    imagenet_workload,
+    plan_capacity,
+)
+from repro.errors import ConfigurationError
+from repro.kvstore import mysql_like_latency
+
+
+class TestWorkloads:
+    def test_cifar10_matches_paper(self):
+        wl = cifar10_workload()
+        assert wl.num_shards == 50
+        assert wl.epochs == 40
+        assert wl.total_subtasks == 2000  # the paper's ~2 000 updates
+
+    def test_imagenet_is_800x(self):
+        cifar = cifar10_workload()
+        imagenet = imagenet_workload()
+        assert imagenet.num_shards == 800 * cifar.num_shards
+        assert imagenet.total_subtasks == 1_600_000  # the §IV-D number
+
+    def test_validation(self):
+        from repro.cloud import WorkloadSpec
+
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("x", num_shards=0, epochs=1, work_units_per_subtask=1,
+                         param_bytes=1, shard_bytes=1)
+
+
+class TestPlanner:
+    def test_paper_p5c5t2_duration(self):
+        """Pure-execution estimate ≈ the paper's 'slightly more than 8 hr'."""
+        est = plan_capacity(
+            cifar10_workload(), num_clients=5, concurrency=2, num_param_servers=5
+        )
+        assert 7.0 < est.job_hours < 9.5
+        assert est.bottleneck == "clients"
+
+    def test_subtask_time_near_paper_te(self):
+        est = plan_capacity(cifar10_workload())
+        assert 2.0 < est.subtask_seconds / 60 < 2.6  # t_e ≈ 2.4 min
+
+    def test_mysql_imagenet_overhead_matches_paper(self):
+        """§IV-D: '~1,600,000 [updates], which adds an overhead of 187 hours'."""
+        est = plan_capacity(
+            imagenet_workload(),
+            num_clients=5,
+            concurrency=2,
+            num_param_servers=5,
+            store=mysql_like_latency(),
+        )
+        assert 180 < est.store_overhead_hours < 195
+
+    def test_high_concurrency_flips_bottleneck(self):
+        """The Fig. 3 regime: P1 at C3T8 is drain-limited."""
+        est = plan_capacity(
+            cifar10_workload(), num_clients=3, concurrency=8, num_param_servers=1
+        )
+        assert est.ps_utilization > 1.0
+        assert est.bottleneck == "parameter-servers"
+        assert est.min_param_servers >= 2
+
+    def test_min_ps_recommendation_stabilizes(self):
+        """Planning with the recommended Pn must yield rho < 1."""
+        under = plan_capacity(
+            cifar10_workload(), num_clients=3, concurrency=8, num_param_servers=1
+        )
+        fixed = plan_capacity(
+            cifar10_workload(),
+            num_clients=3,
+            concurrency=8,
+            num_param_servers=under.min_param_servers,
+        )
+        assert fixed.ps_utilization < 1.0
+        assert fixed.job_hours < under.job_hours
+
+    def test_more_clients_shorter_job_when_ps_keeps_up(self):
+        small = plan_capacity(cifar10_workload(), num_clients=3, num_param_servers=5)
+        big = plan_capacity(cifar10_workload(), num_clients=10, num_param_servers=5)
+        assert big.job_hours < small.job_hours
+
+    def test_cost_scales_with_fleet_and_time(self):
+        est = plan_capacity(
+            cifar10_workload(), num_clients=5, concurrency=2, num_param_servers=5
+        )
+        # ≈ the paper's $4 preemptible job (same fleet, ~8 h).
+        assert 3.0 < est.fleet_cost < 5.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            plan_capacity(cifar10_workload(), num_clients=0)
+
+    def test_summary_row_shape(self):
+        est = plan_capacity(cifar10_workload())
+        row = est.summary_row()
+        assert row[0] == "cifar10"
+        assert len(row) == 8
+
+    def test_planner_tracks_simulator(self):
+        """The analytic epoch estimate should be within ~25% of the event
+        simulation for a client-bound configuration."""
+        from repro.core import ConstantAlpha, TrainingJobConfig, run_experiment
+
+        cfg = TrainingJobConfig(
+            num_param_servers=3,
+            num_clients=3,
+            max_concurrent_subtasks=2,
+            max_epochs=3,
+            alpha_schedule=ConstantAlpha(0.95),
+        )
+        sim_result = run_experiment(cfg)
+        sim_epoch = sim_result.total_time_s / 3
+        est = plan_capacity(
+            cifar10_workload(),
+            num_clients=3,
+            concurrency=2,
+            num_param_servers=3,
+        )
+        plan_epoch = est.job_hours * 3600 / cifar10_workload().epochs
+        assert abs(plan_epoch - sim_epoch) / sim_epoch < 0.25

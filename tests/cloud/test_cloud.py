@@ -1,0 +1,142 @@
+"""Cloud pricing, fleets, and interruption analysis (§III-E, §IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    INTERRUPTION_BANDS,
+    DelayAnalysis,
+    Fleet,
+    FleetMember,
+    PriceBook,
+    PricingClass,
+    band_for,
+    default_price_book,
+    paper_p5c5t2_analysis,
+    paper_p5c5t2_fleet,
+)
+from repro.errors import ConfigurationError
+from repro.simulation import TABLE1_CLIENTS, InstanceSpec
+
+
+class TestPriceBook:
+    def test_paper_fleet_standard_cost(self):
+        """§IV-E anchor: the 40 vCPU / 160 GB fleet costs $1.67/h standard."""
+        fleet = paper_p5c5t2_fleet(PricingClass.STANDARD)
+        assert fleet.hourly_cost() == pytest.approx(1.67, abs=0.005)
+
+    def test_paper_fleet_preemptible_cost(self):
+        """... and $0.50/h preemptible (70% saving)."""
+        fleet = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+        assert fleet.hourly_cost() == pytest.approx(0.50, abs=0.005)
+
+    def test_paper_8h_job_costs(self):
+        """$13.4 standard vs $4 preemptible for the 8 h P5C5T2 run."""
+        standard = paper_p5c5t2_fleet(PricingClass.STANDARD).job_cost(8.0)
+        preemptible = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE).job_cost(8.0)
+        assert standard == pytest.approx(13.4, abs=0.1)
+        assert preemptible == pytest.approx(4.0, abs=0.05)
+
+    def test_savings_fraction_is_70_percent(self):
+        assert paper_p5c5t2_fleet().savings_fraction() == pytest.approx(0.70)
+
+    def test_preemptible_cheaper_for_all_table1_specs(self):
+        book = default_price_book()
+        for spec in TABLE1_CLIENTS:
+            assert book.preemptible_hourly(spec) < book.standard_hourly(spec)
+
+    def test_price_book_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriceBook(per_vcpu_hour=-1, per_gb_hour=0.01)
+        with pytest.raises(ConfigurationError):
+            PriceBook(per_vcpu_hour=0.1, per_gb_hour=0.01, preemptible_discount=1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_p5c5t2_fleet().job_cost(-1.0)
+
+
+class TestFleet:
+    def test_totals(self):
+        fleet = paper_p5c5t2_fleet()
+        assert len(fleet) == 5
+        assert fleet.total_vcpus == 40
+        assert fleet.total_ram_gb == 160
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fleet(members=[])
+
+    def test_as_pricing_converts_all(self):
+        fleet = paper_p5c5t2_fleet(PricingClass.PREEMPTIBLE)
+        std = fleet.as_pricing(PricingClass.STANDARD)
+        assert std.hourly_cost() > fleet.hourly_cost()
+
+    def test_scaled_horizontal(self):
+        fleet = paper_p5c5t2_fleet()
+        double = fleet.scaled_horizontal(2)
+        assert len(double) == 10
+        assert double.hourly_cost() == pytest.approx(2 * fleet.hourly_cost())
+
+    def test_horizontal_vs_vertical_cost_comparison(self):
+        """§IV-E: 10 small (4 vCPU/16 GB) vs 5 large (8 vCPU/32 GB) —
+        equal capacity, equal cost under a linear price book."""
+        book = default_price_book()
+        small = InstanceSpec("small", vcpus=4, clock_ghz=2.2, ram_gb=16, network_gbps=5)
+        large = InstanceSpec("large", vcpus=8, clock_ghz=2.2, ram_gb=32, network_gbps=5)
+        ten_small = Fleet([FleetMember(small) for _ in range(10)], book)
+        five_large = Fleet([FleetMember(large) for _ in range(5)], book)
+        assert ten_small.hourly_cost() == pytest.approx(five_large.hourly_cost())
+
+    def test_member_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetMember(TABLE1_CLIENTS[0], interruption_p=1.5)
+
+
+class TestInterruptionBands:
+    def test_band_lookup(self):
+        assert band_for(0.03).label == "<5%"
+        assert band_for(0.07).label == "5-10%"
+        assert band_for(0.5).label == ">20%"
+
+    def test_bands_cover_unit_interval(self):
+        assert INTERRUPTION_BANDS[0].p_low == 0.0
+        assert INTERRUPTION_BANDS[-1].p_high == 1.0
+        for a, b in zip(INTERRUPTION_BANDS, INTERRUPTION_BANDS[1:]):
+            assert a.p_high == b.p_low
+
+    def test_band_midpoint(self):
+        assert INTERRUPTION_BANDS[1].p_mid == pytest.approx(0.075)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            band_for(-0.1)
+
+
+class TestDelayAnalysis:
+    @pytest.fixture
+    def analysis(self) -> DelayAnalysis:
+        return paper_p5c5t2_analysis()
+
+    def test_paper_50min_delay(self, analysis):
+        assert analysis.expected_delay_minutes(0.05) == pytest.approx(50.0)
+
+    def test_paper_200min_delay(self, analysis):
+        assert analysis.expected_delay_minutes(0.20) == pytest.approx(200.0)
+
+    def test_baseline_total_hours(self, analysis):
+        # 200 waves x 2.4 min = 480 min = 8 h of pure subtask execution,
+        # matching "total training time is slightly more than 8 hr".
+        assert analysis.expected_total_hours(0.0) == pytest.approx(8.0)
+
+    def test_relative_slowdown(self, analysis):
+        assert analysis.relative_slowdown(0.0) == pytest.approx(1.0)
+        assert analysis.relative_slowdown(0.05) > 1.0
+
+    def test_lifetime_model_consistency(self, analysis):
+        model = analysis.lifetime_model(0.05)
+        assert model.survival_probability(3600) == pytest.approx(0.95)
+
+    def test_band_passthrough(self, analysis):
+        assert analysis.band(0.04).label == "<5%"

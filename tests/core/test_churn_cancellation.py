@@ -1,0 +1,134 @@
+"""Volunteer churn and redundant-replica cancellation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc import Scheduler, SchedulerConfig, Workunit, WorkunitState
+from repro.core import FaultConfig, run_experiment
+from repro.errors import ConfigurationError, WorkunitError
+
+from .test_runner import tiny_config
+
+
+class TestVolunteerChurn:
+    def test_arrivals_join_and_speed_up(self):
+        solo = run_experiment(
+            tiny_config(num_clients=1, max_epochs=3, num_shards=12, num_train=240)
+        )
+        churn = run_experiment(
+            tiny_config(
+                num_clients=1,
+                max_epochs=3,
+                num_shards=12,
+                num_train=240,
+                faults=FaultConfig(
+                    volunteer_arrivals_per_hour=30.0, max_volunteers=4
+                ),
+            )
+        )
+        assert churn.counters["volunteers_joined"] == 4
+        assert churn.total_time_hours < solo.total_time_hours
+
+    def test_max_volunteers_caps_arrivals(self):
+        result = run_experiment(
+            tiny_config(
+                num_clients=1,
+                max_epochs=2,
+                faults=FaultConfig(
+                    volunteer_arrivals_per_hour=1000.0, max_volunteers=2
+                ),
+            )
+        )
+        assert result.counters["volunteers_joined"] == 2
+
+    def test_zero_rate_means_no_arrivals(self):
+        result = run_experiment(tiny_config(max_epochs=1))
+        assert result.counters["volunteers_joined"] == 0
+
+    def test_invalid_churn_config(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(volunteer_arrivals_per_hour=-1.0)
+
+    def test_churn_traced(self):
+        from repro.core import DistributedRunner
+
+        runner = DistributedRunner(
+            tiny_config(
+                num_clients=1,
+                max_epochs=2,
+                faults=FaultConfig(
+                    volunteer_arrivals_per_hour=100.0, max_volunteers=2
+                ),
+            )
+        )
+        runner.run()
+        assert runner.trace.count("fleet.volunteer_joined") == 2
+
+
+def make_wu(wu_id: str = "u#r0") -> Workunit:
+    return Workunit(
+        wu_id=wu_id,
+        job_id="j",
+        epoch=0,
+        shard_index=0,
+        input_files=("m", "p", "s"),
+        work_units=1.0,
+        timeout_s=100.0,
+    )
+
+
+class TestCancellation:
+    def test_cancel_unsent(self, sim):
+        sched = Scheduler(sim, SchedulerConfig())
+        sched.add_workunits([make_wu()])
+        assert sched.cancel_workunit("u#r0") is None
+        assert sched.get_workunit("u#r0").state is WorkunitState.CANCELLED
+        assert sched.unsent_count() == 0
+        assert sched.cancellations == 1
+
+    def test_cancel_in_progress_returns_client(self, sim):
+        sched = Scheduler(sim, SchedulerConfig())
+        sched.add_workunits([make_wu()])
+        sched.request_work("c1", set(), 1)
+        assert sched.cancel_workunit("u#r0") == "c1"
+        wu = sched.get_workunit("u#r0")
+        assert wu.state is WorkunitState.CANCELLED
+        assert wu.current_attempt.outcome == "cancelled"
+        sim.run()
+        assert sched.timeouts == 0  # timeout event was cancelled too
+
+    def test_cancel_terminal_is_noop(self, sim):
+        sched = Scheduler(sim, SchedulerConfig())
+        sched.add_workunits([make_wu()])
+        sched.request_work("c1", set(), 1)
+        sched.report_result("u#r0", "c1")
+        wu = sched.get_workunit("u#r0")
+        wu.mark_valid(sim.now, result=None)
+        assert sched.cancel_workunit("u#r0") is None
+        assert wu.state is WorkunitState.DONE
+
+    def test_cancelled_is_terminal(self, sim):
+        wu = make_wu()
+        wu.mark_cancelled(0.0)
+        assert wu.is_terminal
+
+    def test_illegal_cancel_transition(self):
+        wu = make_wu()
+        wu.mark_sent("c1", 0.0)
+        wu.mark_result_received(1.0)
+        with pytest.raises(WorkunitError):
+            wu.mark_cancelled(2.0)
+
+    def test_quorum_one_cancels_siblings_end_to_end(self):
+        result = run_experiment(
+            tiny_config(num_clients=3, replicas=2, quorum=1, max_epochs=2)
+        )
+        # First replica to finish wins; its sibling is cancelled (or was
+        # never needed), so cancellations show up and time is saved.
+        assert result.counters["cancellations"] > 0
+        assert result.counters["quorums_reached"] == 12
+        slower = run_experiment(
+            tiny_config(num_clients=3, replicas=2, quorum=2, max_epochs=2)
+        )
+        assert result.total_time_hours < slower.total_time_hours

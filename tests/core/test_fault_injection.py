@@ -1,0 +1,84 @@
+"""Malicious/faulty client injection and the replication defence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FaultConfig, run_experiment
+from repro.errors import ConfigurationError
+
+from .test_runner import tiny_config
+
+
+class TestCorruptionConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(corrupt_clients=-1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(corruption_scale=-0.5)
+
+
+class TestCorruptionEffects:
+    def test_attack_degrades_unprotected_training(self):
+        clean = run_experiment(tiny_config(num_clients=3, max_epochs=3))
+        attacked = run_experiment(
+            tiny_config(
+                num_clients=3,
+                max_epochs=3,
+                faults=FaultConfig(corrupt_clients=1, corruption_scale=3.0),
+            )
+        )
+        assert attacked.final_val_accuracy < clean.final_val_accuracy
+
+    def test_majority_quorum_defends(self):
+        """3 replicas / quorum 2: the single corrupt replica is outvoted
+        on every logical unit and accuracy matches the clean run."""
+        clean = run_experiment(tiny_config(num_clients=3, max_epochs=3))
+        defended = run_experiment(
+            tiny_config(
+                num_clients=3,
+                max_epochs=3,
+                replicas=3,
+                quorum=2,
+                faults=FaultConfig(corrupt_clients=1, corruption_scale=3.0),
+            )
+        )
+        assert defended.counters["quorums_reached"] == 18  # 6 shards x 3 epochs
+        assert (
+            abs(defended.final_val_accuracy - clean.final_val_accuracy) < 0.05
+        )
+
+    def test_pair_replication_detects_but_loses_updates(self):
+        """2 replicas / quorum 2 cannot outvote: units touched by the
+        corrupt client fail quorum and their updates are dropped."""
+        result = run_experiment(
+            tiny_config(
+                num_clients=3,
+                max_epochs=2,
+                replicas=2,
+                quorum=2,
+                faults=FaultConfig(corrupt_clients=1, corruption_scale=3.0),
+            )
+        )
+        assert result.counters["quorums_reached"] < 12
+        assert result.counters["replica_disagreements"] > 0
+
+    def test_corruption_traced(self):
+        from repro.core import DistributedRunner
+
+        runner = DistributedRunner(
+            tiny_config(
+                num_clients=2,
+                max_epochs=1,
+                faults=FaultConfig(corrupt_clients=1, corruption_scale=2.0),
+            )
+        )
+        runner.run()
+        assert runner.trace.count("fault.corrupt_upload") > 0
+
+    def test_zero_corrupt_clients_is_clean(self):
+        a = run_experiment(tiny_config(max_epochs=1))
+        b = run_experiment(
+            tiny_config(max_epochs=1, faults=FaultConfig(corrupt_clients=0))
+        )
+        assert a.final_val_accuracy == b.final_val_accuracy

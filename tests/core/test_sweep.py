@@ -1,0 +1,134 @@
+"""Sweep utility tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstantAlpha, EpochRecord, RunResult
+from repro.core.sweep import Sweep
+from repro.errors import ConfigurationError
+
+from .test_runner import tiny_config
+
+
+def fake_runner(config):
+    """Deterministic stand-in: 'accuracy' encodes the config knobs."""
+    result = RunResult(label=config.label)
+    acc = 0.1 * config.num_param_servers + 0.01 * config.max_concurrent_subtasks
+    result.append(
+        EpochRecord(
+            epoch=1,
+            end_time_s=1000.0 / config.num_clients,
+            val_accuracy_mean=acc,
+            val_accuracy_min=acc,
+            val_accuracy_max=acc,
+            test_accuracy=acc,
+            alpha=0.9,
+            assimilations=1,
+            timeouts_so_far=0,
+            lost_updates_so_far=0,
+        )
+    )
+    return result
+
+
+class TestDeclaration:
+    def test_size_is_product(self):
+        sweep = Sweep(tiny_config(), runner=fake_runner)
+        sweep.axis("num_param_servers", [1, 3]).axis("num_clients", [2, 4, 6])
+        assert sweep.size == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(tiny_config()).axis("num_clients", [])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(tiny_config()).axis("warp_factor", [9])
+
+    def test_duplicate_axis_rejected(self):
+        sweep = Sweep(tiny_config()).axis("num_clients", [1])
+        with pytest.raises(ConfigurationError):
+            sweep.axis("num_clients", [2])
+
+    def test_configs_apply_overrides(self):
+        sweep = Sweep(tiny_config(), runner=fake_runner)
+        sweep.axis("num_param_servers", [1, 2])
+        configs = sweep.configs()
+        assert [c.num_param_servers for _, c in configs] == [1, 2]
+        # Base fields untouched.
+        assert all(c.num_shards == tiny_config().num_shards for _, c in configs)
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(tiny_config()).configs()
+
+
+class TestExecution:
+    def make(self) -> Sweep:
+        sweep = Sweep(tiny_config(), runner=fake_runner)
+        sweep.axis("num_param_servers", [1, 3])
+        sweep.axis("max_concurrent_subtasks", [2, 4])
+        return sweep
+
+    def test_runs_all_points(self):
+        sweep = self.make()
+        points = sweep.run()
+        assert len(points) == 4
+        labels = {p.label() for p in points}
+        assert "num_param_servers=3, max_concurrent_subtasks=4" in labels
+
+    def test_progress_callback(self):
+        sweep = self.make()
+        seen = []
+        sweep.run(progress=lambda p: seen.append(p.label()))
+        assert len(seen) == 4
+
+    def test_best_maximize(self):
+        sweep = self.make()
+        sweep.run()
+        best = sweep.best("final_val_accuracy")
+        assert best.override_dict() == {
+            "num_param_servers": 3,
+            "max_concurrent_subtasks": 4,
+        }
+
+    def test_best_minimize(self):
+        sweep = Sweep(tiny_config(), runner=fake_runner)
+        sweep.axis("num_clients", [2, 5])
+        sweep.run()
+        fastest = sweep.best("total_time_hours", maximize=False)
+        assert fastest.override_dict()["num_clients"] == 5
+
+    def test_table_rows_and_headers(self):
+        sweep = self.make()
+        sweep.run()
+        assert sweep.headers() == [
+            "num_param_servers",
+            "max_concurrent_subtasks",
+            "final acc",
+            "hours",
+        ]
+        rows = sweep.table_rows()
+        assert len(rows) == 4 and len(rows[0]) == 4
+
+    def test_query_before_run_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().best()
+
+    def test_alpha_axis_uses_describe(self):
+        sweep = Sweep(tiny_config(), runner=fake_runner)
+        sweep.axis("alpha_schedule", [ConstantAlpha(0.7), ConstantAlpha(0.9)])
+        sweep.run()
+        assert sweep.points[0].label() == "alpha_schedule=alpha=0.7"
+
+
+class TestRealIntegration:
+    def test_sweep_with_real_runner(self):
+        """A 2-point sweep through the actual distributed runner."""
+        sweep = Sweep(tiny_config(max_epochs=1))
+        sweep.axis("num_clients", [1, 3])
+        points = sweep.run()
+        assert len(points) == 2
+        fast = sweep.best("total_time_hours", maximize=False)
+        assert fast.override_dict()["num_clients"] == 3

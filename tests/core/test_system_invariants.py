@@ -1,0 +1,110 @@
+"""System-level invariants under randomized configurations.
+
+These are the conservation laws of the volunteer-computing pipeline —
+whatever the fault pattern, concurrency, or store choice, the following
+must hold for every completed run:
+
+* every epoch assimilates at most ``num_shards`` updates, and exactly that
+  many when no subtask exhausted its attempt budget;
+* simulated time is strictly increasing across epochs;
+* accuracy values are valid probabilities with min ≤ mean ≤ max;
+* reissues ≥ timeouts observed (every timeout with remaining budget
+  requeues), lost updates only occur on the eventual store;
+* identical configs yield bit-identical results (determinism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantAlpha,
+    FaultConfig,
+    LocalTrainingConfig,
+    TrainingJobConfig,
+    run_experiment,
+)
+from repro.data import SyntheticImageConfig
+from repro.nn.models import ModelSpec
+
+
+def build_config(
+    seed: int,
+    clients: int,
+    concurrency: int,
+    servers: int,
+    store: str,
+    preempt: float,
+) -> TrainingJobConfig:
+    return TrainingJobConfig(
+        num_param_servers=servers,
+        num_clients=clients,
+        max_concurrent_subtasks=concurrency,
+        model=ModelSpec("mlp", {"in_features": 48, "hidden": [6], "num_classes": 4}),
+        data=SyntheticImageConfig(image_size=4, num_classes=4, noise_std=1.5),
+        num_train=80,
+        num_val=24,
+        num_test=24,
+        num_shards=5,
+        max_epochs=2,
+        local_training=LocalTrainingConfig(local_epochs=1, learning_rate=0.01),
+        alpha_schedule=ConstantAlpha(0.8),
+        store_kind=store,
+        faults=FaultConfig(preemption_hourly_p=preempt, relaunch_delay_s=60.0),
+        seed=seed,
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(1, 4),
+    concurrency=st.integers(1, 4),
+    servers=st.integers(1, 3),
+    store=st.sampled_from(["eventual", "strong"]),
+    preempt=st.sampled_from([0.0, 0.5]),
+)
+def test_property_run_invariants(seed, clients, concurrency, servers, store, preempt):
+    config = build_config(seed, clients, concurrency, servers, store, preempt)
+    result = run_experiment(config)
+
+    # Epoch accounting.
+    assert len(result.epochs) == 2
+    for record in result.epochs:
+        assert 0 < record.assimilations <= config.num_shards
+        assert 0.0 <= record.val_accuracy_min <= record.val_accuracy_mean
+        assert record.val_accuracy_mean <= record.val_accuracy_max <= 1.0
+        assert 0.0 <= record.test_accuracy <= 1.0
+
+    # Clock monotonicity.
+    times = [r.end_time_s for r in result.epochs]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert result.total_time_s == times[-1]
+
+    # Fault accounting.
+    counters = result.counters
+    assert counters["reissues"] >= 0
+    assert counters["assimilations"] == sum(r.assimilations for r in result.epochs)
+    if store == "strong":
+        assert counters["lost_updates"] == 0
+    if preempt == 0.0:
+        assert counters["preemptions"] == 0
+
+    # With no permanent failures possible (generous attempt budget), every
+    # shard of every epoch is assimilated.
+    if preempt == 0.0:
+        assert counters["assimilations"] == config.num_shards * config.max_epochs
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_determinism(seed):
+    config = build_config(seed, clients=2, concurrency=2, servers=1,
+                          store="eventual", preempt=0.3)
+    a = run_experiment(config)
+    b = run_experiment(config)
+    np.testing.assert_array_equal(a.val_accuracy(), b.val_accuracy())
+    assert a.total_time_s == b.total_time_s
+    assert a.counters == b.counters

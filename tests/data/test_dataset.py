@@ -1,0 +1,82 @@
+"""Dataset container and serialization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.errors import SerializationError, ShapeError
+
+
+@pytest.fixture
+def ds(rng) -> Dataset:
+    return Dataset(rng.normal(size=(20, 6)), rng.integers(0, 4, size=20), name="t")
+
+
+class TestConstruction:
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            Dataset(rng.normal(size=(5, 2)), np.zeros(4, dtype=int))
+
+    def test_labels_must_be_1d(self, rng):
+        with pytest.raises(ShapeError):
+            Dataset(rng.normal(size=(5, 2)), np.zeros((5, 1), dtype=int))
+
+    def test_immutable(self, ds):
+        with pytest.raises(ValueError):
+            ds.x[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            ds.y[0] = 1
+
+    def test_len_and_repr(self, ds):
+        assert len(ds) == 20
+        assert "20 samples" in repr(ds)
+
+    def test_num_classes(self, rng):
+        ds = Dataset(rng.normal(size=(6, 2)), np.array([0, 1, 2, 2, 1, 0]))
+        assert ds.num_classes == 3
+
+    def test_empty_num_classes(self):
+        ds = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        assert ds.num_classes == 0
+
+
+class TestOperations:
+    def test_subset_copies(self, ds):
+        sub = ds.subset(np.array([1, 3, 5]), name="sub")
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x[0], ds.x[1])
+        assert sub.name == "sub"
+
+    def test_shuffled_preserves_pairs(self, ds, rng):
+        shuffled = ds.shuffled(rng)
+        assert len(shuffled) == len(ds)
+        # Row-label pairing must survive shuffling.
+        orig = {tuple(row): label for row, label in zip(ds.x, ds.y)}
+        for row, label in zip(shuffled.x, shuffled.y):
+            assert orig[tuple(row)] == label
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((5, 1)), np.array([0, 0, 1, 2, 2]))
+        np.testing.assert_array_equal(ds.class_counts(), [2, 1, 2])
+
+
+class TestSerialization:
+    def test_roundtrip(self, ds):
+        restored = Dataset.from_bytes(ds.to_bytes())
+        np.testing.assert_array_equal(restored.x, ds.x)
+        np.testing.assert_array_equal(restored.y, ds.y)
+        assert restored.name == ds.name
+
+    def test_uncompressed_roundtrip(self, ds):
+        restored = Dataset.from_bytes(ds.to_bytes(compress=False))
+        np.testing.assert_array_equal(restored.x, ds.x)
+
+    def test_nbytes_positive_and_compression_helps(self):
+        ds = Dataset(np.zeros((100, 50)), np.zeros(100, dtype=int))
+        assert 0 < ds.nbytes(compress=True) < ds.nbytes(compress=False)
+
+    def test_garbage_raises(self):
+        with pytest.raises(SerializationError):
+            Dataset.from_bytes(b"garbage")

@@ -1,0 +1,139 @@
+"""Time-series substrate tests (§V workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    TimeSeriesConfig,
+    generate_series,
+    train_val_split_series,
+    windowed_dataset,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"length": 4},
+            {"seasonal_period": 1},
+            {"ar_coefficient": 1.0},
+            {"noise_std": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TimeSeriesConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_shape_and_determinism(self):
+        cfg = TimeSeriesConfig(length=200)
+        a = generate_series(cfg, np.random.default_rng(1))
+        b = generate_series(cfg, np.random.default_rng(1))
+        assert a.shape == (200,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_trend_dominates_long_run(self):
+        cfg = TimeSeriesConfig(length=4000, trend_slope=0.01, noise_std=0.1)
+        series = generate_series(cfg, np.random.default_rng(0))
+        assert series[-500:].mean() > series[:500].mean()
+
+    def test_seasonality_visible(self):
+        cfg = TimeSeriesConfig(
+            length=960, trend_slope=0.0, seasonal_amplitude=2.0, noise_std=0.05
+        )
+        series = generate_series(cfg, np.random.default_rng(0))
+        # Autocorrelation at the seasonal lag should be strongly positive.
+        lag = cfg.seasonal_period
+        a = series[:-lag] - series[:-lag].mean()
+        b = series[lag:] - series[lag:].mean()
+        corr = float((a * b).mean() / (a.std() * b.std()))
+        assert corr > 0.8
+
+    def test_zero_noise_is_deterministic_signal(self):
+        cfg = TimeSeriesConfig(length=100, noise_std=0.0)
+        series = generate_series(cfg, np.random.default_rng(0))
+        t = np.arange(100)
+        expected = cfg.trend_slope * t + cfg.seasonal_amplitude * np.sin(
+            2 * np.pi * t / cfg.seasonal_period
+        )
+        np.testing.assert_allclose(series, expected, atol=1e-12)
+
+
+class TestWindowing:
+    def test_window_contents(self):
+        series = np.arange(10.0)
+        x, y = windowed_dataset(series, window=3, horizon=1)
+        assert x.shape == (7, 3)
+        np.testing.assert_array_equal(x[0], [0, 1, 2])
+        assert y[0] == 3.0
+        np.testing.assert_array_equal(x[-1], [6, 7, 8])
+        assert y[-1] == 9.0
+
+    def test_horizon_shifts_target(self):
+        series = np.arange(10.0)
+        x, y = windowed_dataset(series, window=3, horizon=2)
+        assert y[0] == 4.0
+        assert len(x) == 6
+
+    def test_windows_are_copies(self):
+        series = np.arange(10.0)
+        x, _ = windowed_dataset(series, window=3)
+        x[0, 0] = 99.0
+        assert series[0] == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ConfigurationError):
+            windowed_dataset(np.arange(3.0), window=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            windowed_dataset(np.zeros((3, 3)), window=2)
+        with pytest.raises(ConfigurationError):
+            windowed_dataset(np.arange(10.0), window=0)
+
+
+class TestSplit:
+    def test_chronological(self):
+        x = np.arange(20.0).reshape(10, 2)
+        y = np.arange(10.0)
+        x_tr, y_tr, x_va, y_va = train_val_split_series(x, y, val_fraction=0.3)
+        assert len(x_tr) == 7 and len(x_va) == 3
+        # Validation strictly after training.
+        assert x_tr[-1, 0] < x_va[0, 0]
+
+    def test_invalid_fraction(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ConfigurationError):
+            train_val_split_series(x, y, val_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_val_split_series(x, y, val_fraction=1.0)
+
+    def test_degenerate_split_rejected(self):
+        x = np.zeros((2, 1))
+        y = np.zeros(2)
+        with pytest.raises(ConfigurationError):
+            train_val_split_series(x, y, val_fraction=0.99)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(10, 200),
+    window=st.integers(1, 8),
+    horizon=st.integers(1, 4),
+)
+def test_property_window_count_and_alignment(n, window, horizon):
+    if n - window - horizon + 1 <= 0:
+        return
+    series = np.arange(float(n))
+    x, y = windowed_dataset(series, window=window, horizon=horizon)
+    assert len(x) == len(y) == n - window - horizon + 1
+    # Every target equals the last window element + horizon.
+    np.testing.assert_array_equal(y, x[:, -1] + horizon)

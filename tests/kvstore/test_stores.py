@@ -1,0 +1,221 @@
+"""Eventual vs strong consistency store semantics and latency calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, KVStoreError
+from repro.kvstore import (
+    PAPER_MYSQL_UPDATE_S,
+    PAPER_PARAM_BYTES,
+    PAPER_REDIS_UPDATE_S,
+    EventualStore,
+    StoreLatency,
+    StrongStore,
+    mysql_like_latency,
+    payload_nbytes,
+    redis_like_latency,
+)
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def fast_latency() -> StoreLatency:
+    return StoreLatency(base_s=1.0, per_byte_s=0.0)
+
+
+class TestLatencyCalibration:
+    def test_redis_update_matches_paper(self):
+        lat = redis_like_latency()
+        assert lat.update(PAPER_PARAM_BYTES) == pytest.approx(PAPER_REDIS_UPDATE_S)
+
+    def test_mysql_update_matches_paper(self):
+        lat = mysql_like_latency()
+        assert lat.update(PAPER_PARAM_BYTES) == pytest.approx(PAPER_MYSQL_UPDATE_S)
+
+    def test_paper_ratio_is_about_1_5x(self):
+        # §IV-D: "a strong consistency database like MySQL takes 1.5 times
+        # longer for each update transaction".
+        ratio = PAPER_MYSQL_UPDATE_S / PAPER_REDIS_UPDATE_S
+        assert ratio == pytest.approx(1.48, abs=0.02)
+
+    def test_latency_monotone_in_bytes(self):
+        lat = redis_like_latency()
+        assert lat.update(10**6) < lat.update(10**7)
+
+    def test_write_factor_scales_writes(self):
+        lat = StoreLatency(base_s=0.1, per_byte_s=0.0, write_factor=2.0)
+        assert lat.write(0) == pytest.approx(2 * lat.read(0))
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigurationError):
+            StoreLatency(base_s=-1, per_byte_s=0)
+        with pytest.raises(ConfigurationError):
+            redis_like_latency().read(-5)
+
+
+class TestPayloadSizing:
+    def test_ndarray_uses_nbytes(self):
+        assert payload_nbytes(np.zeros(100)) == 800
+
+    def test_bytes_uses_len(self):
+        assert payload_nbytes(b"abc") == 3
+
+    def test_override_wins(self):
+        assert payload_nbytes(np.zeros(100), override=5) == 5
+
+    def test_other_objects_get_nominal_size(self):
+        assert payload_nbytes({"k": 1}) == 64
+
+
+class TestSynchronousFace:
+    def test_put_get_roundtrip(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("k", 123)
+        assert store.get_now("k") == 123
+        assert store.contains("k")
+        assert store.keys() == ["k"]
+
+    def test_missing_key_raises(self, sim, fast_latency):
+        with pytest.raises(KVStoreError):
+            EventualStore(sim, fast_latency).get_now("missing")
+
+    def test_version_increments(self, sim, fast_latency):
+        store = StrongStore(sim, fast_latency)
+        assert store.version("k") == 0
+        store.put_now("k", 1)
+        store.put_now("k", 2)
+        assert store.version("k") == 2
+
+
+class TestAsyncReadWrite:
+    def test_read_fires_after_latency(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("k", 7)
+        got: list[tuple[float, int]] = []
+        store.read("k", lambda v: got.append((sim.now, v)))
+        sim.run()
+        assert got == [(1.0, 7)]
+
+    def test_write_visible_only_at_commit(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("k", 0)
+        store.write("k", 42)
+        assert store.get_now("k") == 0  # not yet committed
+        sim.run()
+        assert store.get_now("k") == 42
+
+
+class TestEventualConsistency:
+    def test_sequential_updates_none_lost(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("n", 0)
+
+        def add_one_then_next(remaining: int) -> None:
+            if remaining == 0:
+                return
+            store.read_modify_write(
+                "n", lambda v: v + 1, on_done=lambda _: add_one_then_next(remaining - 1)
+            )
+
+        add_one_then_next(10)
+        sim.run()
+        assert store.get_now("n") == 10
+        assert store.lost_updates == 0
+
+    def test_concurrent_updates_lose_some(self, sim, fast_latency):
+        """Two overlapping RMWs based on the same snapshot: one clobbers
+        the other — the §III-D trade-off."""
+        store = EventualStore(sim, fast_latency)
+        store.put_now("n", 0)
+        store.read_modify_write("n", lambda v: v + 1)
+        store.read_modify_write("n", lambda v: v + 1)
+        sim.run()
+        assert store.get_now("n") == 1  # not 2
+        assert store.lost_updates == 1
+
+    def test_lost_update_counting_many(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("n", 0)
+        for _ in range(5):
+            store.read_modify_write("n", lambda v: v + 1)
+        sim.run()
+        assert store.get_now("n") == 1
+        assert store.lost_updates == 4
+
+    def test_in_flight_tracking(self, sim, fast_latency):
+        store = EventualStore(sim, fast_latency)
+        store.put_now("n", 0)
+        store.read_modify_write("n", lambda v: v)
+        store.read_modify_write("n", lambda v: v)
+        assert store.concurrent_transactions("n") == 2
+        sim.run()
+        assert store.concurrent_transactions("n") == 0
+
+
+class TestStrongConsistency:
+    def test_concurrent_updates_all_applied(self, sim, fast_latency):
+        store = StrongStore(sim, fast_latency)
+        store.put_now("n", 0)
+        for _ in range(5):
+            store.read_modify_write("n", lambda v: v + 1)
+        sim.run()
+        assert store.get_now("n") == 5
+
+    def test_serialization_stretches_time(self, sim, fast_latency):
+        """5 concurrent transactions at 1 s each must take 5 s total."""
+        store = StrongStore(sim, fast_latency)
+        store.put_now("n", 0)
+        commit_times: list[float] = []
+        for _ in range(5):
+            store.read_modify_write(
+                "n", lambda v: v + 1, on_done=lambda _: commit_times.append(sim.now)
+            )
+        sim.run()
+        assert commit_times == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_fifo_order(self, sim, fast_latency):
+        store = StrongStore(sim, fast_latency)
+        store.put_now("log", ())
+        for tag in ("a", "b", "c"):
+            store.read_modify_write("log", lambda v, t=tag: v + (t,))
+        sim.run()
+        assert store.get_now("log") == ("a", "b", "c")
+
+    def test_queue_depth_and_wait_stats(self, sim, fast_latency):
+        store = StrongStore(sim, fast_latency)
+        store.put_now("n", 0)
+        for _ in range(3):
+            store.read_modify_write("n", lambda v: v + 1)
+        assert store.queue_depth("n") == 2
+        sim.run()
+        assert store.max_queue_depth == 2
+        # Waiters waited 1 s and 2 s respectively.
+        assert store.total_wait_time == pytest.approx(3.0)
+
+    def test_independent_keys_do_not_serialize(self, sim, fast_latency):
+        store = StrongStore(sim, fast_latency)
+        store.put_now("a", 0)
+        store.put_now("b", 0)
+        commits: list[float] = []
+        store.read_modify_write("a", lambda v: v + 1, on_done=lambda _: commits.append(sim.now))
+        store.read_modify_write("b", lambda v: v + 1, on_done=lambda _: commits.append(sim.now))
+        sim.run()
+        assert commits == pytest.approx([1.0, 1.0])
+
+
+class TestStrongVsEventualRace:
+    def test_same_workload_strong_slower_but_complete(self, sim):
+        """The §IV-D trade-off in one test: strong loses nothing but takes
+        ~1.5× longer per op; eventual finishes sooner but drops updates."""
+        redis = EventualStore(Simulator(), redis_like_latency())
+        mysql = StrongStore(Simulator(), mysql_like_latency())
+        for store in (redis, mysql):
+            store.put_now("n", 0)
+            for _ in range(4):
+                store.read_modify_write("n", lambda v: v + 1, nbytes=PAPER_PARAM_BYTES)
+            store.sim.run()
+        assert mysql.get_now("n") == 4
+        assert redis.get_now("n") < 4
+        assert mysql.sim.now > redis.sim.now

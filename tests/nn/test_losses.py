@@ -1,0 +1,101 @@
+"""Loss function tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Parameter
+from repro.nn.losses import cross_entropy, l2_penalty, mae_loss, mse_loss
+from repro.nn.tensor import Tensor
+
+from ..conftest import numerical_gradient
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 5), -50.0)
+        logits[np.arange(3), [0, 1, 2]] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([0, 1, 2]))
+        assert loss.item() < 1e-8
+
+    def test_gradient_matches_numeric(self, rng):
+        y = np.array([0, 2, 1, 2])
+        x_data = rng.normal(size=(4, 3))
+
+        def loss(t: Tensor) -> Tensor:
+            return cross_entropy(t, y)
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        loss(x).backward()
+        numeric = numerical_gradient(lambda: loss(Tensor(x.data)).item(), x.data)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-6, atol=1e-7)
+
+    def test_gradient_closed_form(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        y = np.array([1, 0])
+        cross_entropy(x, y).backward()
+        # grad = (softmax - onehot)/N
+        e = np.exp(x.data - x.data.max(axis=1, keepdims=True))
+        soft = e / e.sum(axis=1, keepdims=True)
+        soft[np.arange(2), y] -= 1
+        np.testing.assert_allclose(x.grad, soft / 2, rtol=1e-9)
+
+    def test_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(rng.normal(size=(4,))), np.zeros(4, dtype=int))
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(rng.normal(size=(4, 3))), np.zeros(5, dtype=int))
+
+    def test_label_range_validation(self, rng):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([0, 3]))
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert mse_loss(pred, np.array([1.0, 2.0, 5.0])).item() == pytest.approx(4.0 / 3)
+
+    def test_mse_grad(self, rng):
+        target = rng.normal(size=(4,))
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        mse_loss(x, target).backward()
+        np.testing.assert_allclose(x.grad, 2 * (x.data - target) / 4, rtol=1e-9)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, -1.0]))
+        assert mae_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(1.0)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            mse_loss(Tensor(np.ones(3)), np.ones(4))
+        with pytest.raises(ShapeError):
+            mae_loss(Tensor(np.ones(3)), np.ones(4))
+
+
+class TestL2Penalty:
+    def test_value(self):
+        params = [Parameter(np.array([1.0, 2.0])), Parameter(np.array([3.0]))]
+        assert l2_penalty(params, 0.5).item() == pytest.approx(0.5 * 14.0)
+
+    def test_empty_list(self):
+        assert l2_penalty([], 0.5).item() == 0.0
+
+    def test_gradient_is_scaled_params(self):
+        p = Parameter(np.array([2.0, -3.0]))
+        l2_penalty([p], 0.1).backward()
+        np.testing.assert_allclose(p.grad, 0.1 * 2 * p.data)

@@ -1,0 +1,127 @@
+"""Model zoo and ModelSpec tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.losses import cross_entropy
+from repro.nn.models import (
+    ModelSpec,
+    PreActBlock,
+    build_model,
+    make_convnet,
+    make_mlp,
+    make_resnetv2,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestModelSpec:
+    def test_json_roundtrip(self):
+        spec = ModelSpec("mlp", {"in_features": 10, "hidden": [4], "num_classes": 3})
+        assert ModelSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_deterministic(self):
+        spec = ModelSpec("mlp", {"b": 1, "a": 2})
+        assert spec.to_json() == spec.to_json()
+
+    def test_build_unknown_kind(self, rng):
+        with pytest.raises(ConfigurationError):
+            build_model(ModelSpec("transformer", {}), rng)
+
+    def test_build_deterministic_init(self):
+        spec = ModelSpec("mlp", {"in_features": 6, "hidden": [4], "num_classes": 2})
+        m1 = build_model(spec, np.random.default_rng(7))
+        m2 = build_model(spec, np.random.default_rng(7))
+        for (_, a), (_, b) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        model = make_mlp(rng, in_features=12, hidden=(8, 8), num_classes=5)
+        out = model(Tensor(rng.normal(size=(3, 12))))
+        assert out.shape == (3, 5)
+
+    def test_no_hidden_layers(self, rng):
+        model = make_mlp(rng, in_features=4, hidden=(), num_classes=2)
+        assert model(Tensor(rng.normal(size=(1, 4)))).shape == (1, 2)
+
+    def test_batch_norm_option(self, rng):
+        model = make_mlp(rng, in_features=4, hidden=(6,), num_classes=2, batch_norm=True)
+        names = [n for n, _ in model.named_parameters()]
+        assert any("gamma" in n for n in names)
+
+    def test_tanh_activation(self, rng):
+        model = make_mlp(rng, in_features=4, hidden=(6,), num_classes=2, activation="tanh")
+        assert model(Tensor(rng.normal(size=(2, 4)))).shape == (2, 2)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_mlp(rng, activation="swish")
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_mlp(rng, in_features=0)
+
+    def test_trainable_end_to_end(self, rng):
+        model = make_mlp(rng, in_features=4, hidden=(8,), num_classes=2)
+        x = Tensor(rng.normal(size=(16, 4)))
+        loss = cross_entropy(model(x), rng.integers(0, 2, size=16))
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestConvNet:
+    def test_forward_shape(self, rng):
+        model = make_convnet(rng, in_channels=3, image_size=8, channels=(8, 16), num_classes=10)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 10)
+
+    def test_backward_flows(self, rng):
+        model = make_convnet(rng, channels=(4,), image_size=8)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        cross_entropy(out, np.array([1, 2])).backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestResNetV2:
+    def test_forward_shape(self, rng):
+        model = make_resnetv2(rng, stage_channels=(8, 16), blocks_per_stage=1)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 10)
+
+    def test_depth_scales_with_blocks(self, rng):
+        shallow = make_resnetv2(rng, stage_channels=(8,), blocks_per_stage=1)
+        deep = make_resnetv2(np.random.default_rng(0), stage_channels=(8,), blocks_per_stage=3)
+        assert deep.num_parameters() > shallow.num_parameters()
+
+    def test_invalid_blocks(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_resnetv2(rng, blocks_per_stage=0)
+
+    def test_preact_block_identity_path(self, rng):
+        block = PreActBlock(4, 4, rng, stride=1)
+        out = block(Tensor(rng.normal(size=(2, 4, 6, 6))))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_preact_block_projection_on_stride(self, rng):
+        block = PreActBlock(4, 8, rng, stride=2)
+        out = block(Tensor(rng.normal(size=(2, 4, 6, 6))))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_backward_through_deep_net(self, rng):
+        model = make_resnetv2(rng, stage_channels=(4, 8), blocks_per_stage=2)
+        out = model(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        cross_entropy(out, np.array([0])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_spec_roundtrip_builds(self, rng):
+        spec = ModelSpec(
+            "resnetv2", {"stage_channels": [4, 8], "blocks_per_stage": 1}
+        )
+        model = build_model(ModelSpec.from_json(spec.to_json()), rng)
+        assert model(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 10)

@@ -1,0 +1,159 @@
+"""Optimizer and LR-schedule tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, Parameter
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, StepDecayLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start: float = 5.0) -> Parameter:
+    return Parameter(np.array([start]))
+
+
+def quadratic_step(p: Parameter) -> None:
+    """Set grad of f(x) = x^2 manually: grad = 2x."""
+    p.grad = 2.0 * p.data.copy()
+
+
+class TestSGD:
+    def test_plain_update_formula(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1)
+        quadratic_step(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 2.0])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        opt_p = SGD([plain], lr=0.01)
+        opt_m = SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(plain)
+            opt_p.step()
+            quadratic_step(heavy)
+            opt_m.step()
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([3.0]))
+        SGD([p], lr=0.1).step()  # no grad set
+        np.testing.assert_allclose(p.data, [3.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_update_is_in_place(self):
+        p = quadratic_param()
+        buf = p.data
+        opt = SGD([p], lr=0.1)
+        quadratic_step(p)
+        opt.step()
+        assert p.data is buf
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first step ≈ lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([3.7])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.01], rtol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_state_allocated_lazily_per_param(self):
+        a, b = quadratic_param(), quadratic_param()
+        opt = Adam([a, b], lr=0.1)
+        quadratic_step(a)
+        opt.step()
+        assert 0 in opt._m and 1 not in opt._m
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([quadratic_param()], beta1=1.0)
+
+    def test_trains_real_model(self, rng):
+        model = Dense(8, 3, rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        x = rng.normal(size=(32, 8))
+        y = x[:, :3].argmax(axis=1)  # linearly learnable labels
+        first = None
+        for _ in range(60):
+            model.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.3
+
+    def test_update_is_in_place(self):
+        p = quadratic_param()
+        buf = p.data
+        opt = Adam([p], lr=0.1)
+        quadratic_step(p)
+        opt.step()
+        assert p.data is buf
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.01)
+        assert s.lr_at(0) == s.lr_at(1000) == 0.01
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLR(0.0)
+
+    def test_step_decay(self):
+        s = StepDecayLR(1.0, step_size=10, gamma=0.1)
+        assert s.lr_at(0) == 1.0
+        assert s.lr_at(10) == pytest.approx(0.1)
+        assert s.lr_at(25) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        s = CosineLR(1.0, total_steps=100, min_lr=0.1)
+        assert s.lr_at(0) == pytest.approx(1.0)
+        assert s.lr_at(100) == pytest.approx(0.1)
+        assert s.lr_at(200) == pytest.approx(0.1)  # clamps past the end
+
+    def test_optimizer_uses_schedule(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=StepDecayLR(1.0, step_size=1, gamma=0.5))
+        assert opt.lr == 1.0
+        quadratic_step(p)
+        opt.step()
+        assert opt.lr == 0.5

@@ -1,0 +1,155 @@
+"""Event queue and simulator engine tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order: list[str] = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.pop().callback()
+        q.pop().callback()
+        assert order == ["a", "b"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None, "first")
+        second = q.push(1.0, lambda: None, "second")
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_cancel_skipped_on_pop(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        b = q.push(2.0, lambda: None)
+        a.cancel()
+        assert q.pop() is b
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        a.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_is_empty_with_only_cancelled(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        a.cancel()
+        assert q.is_empty()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_repr_shows_state(self):
+        q = EventQueue()
+        h = q.push(1.5, lambda: None, "tick")
+        assert "tick" in repr(h)
+        h.cancel()
+        assert "cancelled" in repr(h)
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self, sim):
+        times: list[float] = []
+        sim.schedule(3.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        fired: list[float] = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        assert fired == []
+        sim.run()
+        assert fired == [10.0]
+
+    def test_run_until_advances_idle_clock(self, sim):
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_events_can_schedule_events(self, sim):
+        seen: list[float] = []
+
+        def chain(depth: int) -> None:
+            seen.append(sim.now)
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_max_events_guard(self, sim):
+        def forever() -> None:
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_idle(self, sim):
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.events_processed == 1
+
+    def test_cancelled_event_not_executed(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_counts_live_only(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.pending() == 1
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested() -> None:
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+def test_property_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired: list[float] = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

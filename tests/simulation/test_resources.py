@@ -1,0 +1,194 @@
+"""Processor-sharing compute resource tests (the Tn physics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation import (
+    TABLE1_CLIENTS,
+    TABLE1_SERVER,
+    ComputeResource,
+    InstanceSpec,
+    Simulator,
+)
+
+
+@pytest.fixture
+def spec() -> InstanceSpec:
+    # 2.4 GHz reference clock: per-core rate exactly 1 unit/s.
+    return InstanceSpec("test", vcpus=4, clock_ghz=2.4, ram_gb=16, network_gbps=1)
+
+
+class TestInstanceSpec:
+    def test_reference_core_rate(self, spec):
+        assert spec.per_core_rate == pytest.approx(1.0)
+        assert spec.total_rate == pytest.approx(4.0)
+
+    def test_table1_matches_paper(self):
+        assert TABLE1_SERVER.vcpus == 8
+        assert TABLE1_SERVER.clock_ghz == 2.3
+        assert TABLE1_SERVER.ram_gb == 61
+        assert TABLE1_SERVER.network_gbps == 10
+        assert len(TABLE1_CLIENTS) == 4
+        assert {c.vcpus for c in TABLE1_CLIENTS} == {8, 16}
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            InstanceSpec("bad", vcpus=0, clock_ghz=2.0, ram_gb=1, network_gbps=1)
+
+    def test_default_links(self):
+        wan = TABLE1_CLIENTS[0].default_link()
+        lan = TABLE1_SERVER.default_link(is_server=True)
+        assert wan.latency_s > lan.latency_s
+        assert lan.bandwidth_bps > wan.bandwidth_bps
+
+
+class TestSingleTask:
+    def test_completion_time(self, sim, spec):
+        done: list[float] = []
+        res = ComputeResource(sim, spec)
+        res.submit(10.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10.0]  # 10 units at 1 unit/s
+
+    def test_invalid_work(self, sim, spec):
+        res = ComputeResource(sim, spec)
+        with pytest.raises(ConfigurationError):
+            res.submit(0.0, lambda: None)
+
+    def test_completed_count(self, sim, spec):
+        res = ComputeResource(sim, spec)
+        res.submit(1.0, lambda: None)
+        res.submit(2.0, lambda: None)
+        sim.run()
+        assert res.completed_count == 2
+        assert res.active_count == 0
+
+
+class TestProcessorSharing:
+    def test_within_core_count_no_slowdown(self, sim, spec):
+        """k <= cores: each task runs at full per-core speed."""
+        done: list[float] = []
+        res = ComputeResource(sim, spec)
+        for _ in range(4):  # 4 tasks on 4 cores
+            res.submit(10.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10.0] * 4
+
+    def test_oversubscription_slows_tasks(self, sim, spec):
+        done: list[float] = []
+        res = ComputeResource(sim, spec, contention=0.0)
+        for _ in range(8):  # 8 tasks on 4 cores
+            res.submit(10.0, lambda: done.append(sim.now))
+        sim.run()
+        # Total rate 4 units/s shared by 8 tasks -> 0.5/s each -> 20 s.
+        assert done == pytest.approx([20.0] * 8)
+
+    def test_contention_penalty_beyond_cores(self, sim, spec):
+        res = ComputeResource(sim, spec, contention=0.25)
+        # 8 active on 4 cores: degraded total = 4/(1+0.25*4) = 2 units/s.
+        assert res.throughput(8) == pytest.approx(2.0)
+        # Paper's observation: throughput *decreases* past saturation.
+        assert res.throughput(8) < res.throughput(4)
+
+    def test_dynamic_membership_recomputes_rates(self, sim, spec):
+        """A task joining mid-flight slows an oversubscribed machine."""
+        done: dict[str, float] = {}
+        res = ComputeResource(sim, spec, contention=0.0)
+        for i in range(4):
+            res.submit(10.0, lambda i=i: done.setdefault(f"a{i}", sim.now))
+        # At t=5 (tasks half done), add 4 more tasks.
+        sim.schedule(
+            5.0,
+            lambda: [
+                res.submit(10.0, lambda j=j: done.setdefault(f"b{j}", sim.now))
+                for j in range(4)
+            ],
+        )
+        sim.run()
+        # First batch: 5 units left at t=5, rate drops to 0.5 -> finish at 15.
+        assert done["a0"] == pytest.approx(15.0)
+        # Second batch: 10 units, 0.5/s while sharing, then full speed after
+        # the first batch leaves: 5 done by t=15, remaining 5 at 1/s -> t=20.
+        assert done["b0"] == pytest.approx(20.0)
+
+    def test_completion_order_by_remaining_work(self, sim, spec):
+        order: list[str] = []
+        res = ComputeResource(sim, spec)
+        res.submit(5.0, lambda: order.append("long"), label="long")
+        res.submit(2.0, lambda: order.append("short"), label="short")
+        sim.run()
+        assert order == ["short", "long"]
+
+
+class TestCancelAndTerminate:
+    def test_cancel_prevents_completion(self, sim, spec):
+        done = []
+        res = ComputeResource(sim, spec)
+        task = res.submit(5.0, lambda: done.append(1))
+        res.cancel(task)
+        sim.run()
+        assert done == [] and task.cancelled
+
+    def test_cancel_speeds_up_others(self, sim, spec):
+        done: list[float] = []
+        res = ComputeResource(sim, spec, contention=0.0)
+        tasks = [res.submit(10.0, lambda: done.append(sim.now)) for _ in range(8)]
+        sim.schedule(0.0, lambda: [res.cancel(t) for t in tasks[4:]])
+        sim.run()
+        assert done == pytest.approx([10.0] * 4)
+
+    def test_terminate_drops_all(self, sim, spec):
+        done = []
+        res = ComputeResource(sim, spec)
+        res.submit(5.0, lambda: done.append(1))
+        res.submit(5.0, lambda: done.append(2))
+        dropped = res.terminate()
+        sim.run()
+        assert done == []
+        assert len(dropped) == 2
+        assert not res.alive
+
+    def test_submit_after_terminate_raises(self, sim, spec):
+        res = ComputeResource(sim, spec)
+        res.terminate()
+        with pytest.raises(SimulationError):
+            res.submit(1.0, lambda: None)
+
+    def test_double_cancel_is_noop(self, sim, spec):
+        res = ComputeResource(sim, spec)
+        task = res.submit(5.0, lambda: None)
+        res.cancel(task)
+        res.cancel(task)  # must not raise
+        sim.run()
+
+
+class TestUtilization:
+    def test_busy_fraction(self, sim, spec):
+        res = ComputeResource(sim, spec)
+        res.submit(4.0, lambda: None)
+        sim.run(until=8.0)
+        assert res.utilization() == pytest.approx(0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    works=st.lists(st.floats(0.5, 20.0), min_size=1, max_size=10),
+    cores=st.integers(1, 8),
+)
+def test_property_work_conservation(works, cores):
+    """Total completion time >= total work / total rate (no free lunch),
+    and every task eventually completes."""
+    sim = Simulator()
+    spec = InstanceSpec("t", vcpus=cores, clock_ghz=2.4, ram_gb=8, network_gbps=1)
+    res = ComputeResource(sim, spec, contention=0.0)
+    done: list[float] = []
+    for w in works:
+        res.submit(w, lambda: done.append(sim.now))
+    sim.run()
+    assert len(done) == len(works)
+    lower_bound = sum(works) / spec.total_rate
+    assert max(done) >= lower_bound - 1e-6

@@ -1,0 +1,118 @@
+"""CLI tests: parsing and end-to-end command execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.servers == 3 and args.clients == 3 and args.concurrency == 2
+        assert args.alpha == "var"
+
+    def test_run_short_flags(self):
+        args = build_parser().parse_args(["run", "-p", "5", "-c", "5", "-t", "8"])
+        assert (args.servers, args.clients, args.concurrency) == (5, 5, 8)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_store_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--store", "dynamo"])
+
+
+class TestCommands:
+    def test_cost_command(self, capsys):
+        assert main(["cost", "--hours", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "standard" in out and "preemptible" in out
+        assert "13.36" in out and "4.01" in out
+
+    def test_preempt_model_command(self, capsys):
+        assert main(["preempt-model"]) == 0
+        out = capsys.readouterr().out
+        assert "n=200" in out
+        assert "50" in out and "200" in out  # the paper's delay minutes
+
+    def test_run_command_tiny(self, capsys):
+        code = main(
+            [
+                "run",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "1",
+                "--shards", "6",
+                "--alpha", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "val acc" in out and "stopped: max_epochs" in out
+
+    def test_run_with_checkpoint_roundtrip(self, tmp_path, capsys):
+        ckpt = tmp_path / "job.npz"
+        assert main(
+            [
+                "run",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "1",
+                "--shards", "6",
+                "--alpha", "0.9",
+                "--checkpoint-out", str(ckpt),
+            ]
+        ) == 0
+        assert ckpt.exists()
+        assert main(
+            [
+                "run",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "2",
+                "--shards", "6",
+                "--alpha", "0.9",
+                "--resume", str(ckpt),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2" in out
+
+    def test_single_command(self, capsys):
+        assert main(["single", "--epochs", "1"]) == 0
+        assert "val acc" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "-p", "1",
+                "-c", "2",
+                "-t", "1,2",
+                "--epochs", "1",
+                "--shards", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep results" in out
+        assert "fastest:" in out and "highest accuracy:" in out
+
+    def test_alpha_study_command(self, capsys):
+        code = main(
+            [
+                "alpha-study",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "2",
+                "--alphas", "0.8,var",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha=0.8" in out and "e/(e+1)" in out
