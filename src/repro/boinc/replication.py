@@ -68,11 +68,22 @@ class QuorumConfig:
             raise ConfigurationError("rtol must be non-negative")
 
 
+def _agreement_vector(payload: object) -> np.ndarray:
+    """The vector replicas must agree on.
+
+    Structured client updates (anything exposing ``params``, e.g.
+    :class:`repro.core.rules.ClientUpdate`) are compared by their parameter
+    copy — deterministic replicas produce identical weights *and*
+    gradients, and the weights alone already expose corruption.
+    """
+    return np.asarray(getattr(payload, "params", payload))
+
+
 @dataclass
 class _LogicalUnit:
     """Collected replica results for one logical subtask."""
 
-    results: list[tuple[Workunit, np.ndarray]] = field(default_factory=list)
+    results: list[tuple[Workunit, object]] = field(default_factory=list)
     decided: bool = False
 
 
@@ -109,7 +120,7 @@ class QuorumAssimilator:
             self.discarded_extras += 1
             on_done()
             return
-        unit.results.append((workunit, np.asarray(payload)))
+        unit.results.append((workunit, payload))
         group = self._largest_agreeing_group(unit)
         if len(group) >= self.config.min_quorum:
             unit.decided = True
@@ -131,18 +142,19 @@ class QuorumAssimilator:
         on_done()
 
     # -- agreement ----------------------------------------------------------
-    def _agrees(self, a: np.ndarray, b: np.ndarray) -> bool:
-        if a.shape != b.shape:
+    def _agrees(self, a: object, b: object) -> bool:
+        vec_a, vec_b = _agreement_vector(a), _agreement_vector(b)
+        if vec_a.shape != vec_b.shape:
             return False
-        scale = max(float(np.linalg.norm(a)), float(np.linalg.norm(b)), 1e-30)
-        return float(np.linalg.norm(a - b)) <= self.config.rtol * scale
+        scale = max(float(np.linalg.norm(vec_a)), float(np.linalg.norm(vec_b)), 1e-30)
+        return float(np.linalg.norm(vec_a - vec_b)) <= self.config.rtol * scale
 
     def _largest_agreeing_group(
         self, unit: _LogicalUnit
-    ) -> list[tuple[Workunit, np.ndarray]]:
+    ) -> list[tuple[Workunit, object]]:
         """Largest clique of mutually agreeing results (greedy by anchor:
         agreement is near-transitive at tight tolerances)."""
-        best: list[tuple[Workunit, np.ndarray]] = []
+        best: list[tuple[Workunit, object]] = []
         for i, (wu_i, payload_i) in enumerate(unit.results):
             group = [
                 (wu_j, payload_j)

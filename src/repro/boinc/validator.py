@@ -1,10 +1,17 @@
 """Result validation (BOINC's validator service, §II-C).
 
 Before a result is assimilated, the validator checks that the uploaded
-parameter payload is structurally sound: decodable, shape-complete against
-the job's parameter template, and finite (a client that diverged to
-NaN/inf must not poison the server copy).  Invalid results are rejected
-and the workunit is reissued by the scheduler.
+payload is structurally sound: decodable, shape-complete against the
+job's parameter template, and finite (a client that diverged to NaN/inf
+must not poison the server copy).  Invalid results are rejected and the
+workunit is reissued by the scheduler.
+
+Payloads are either a bare flat parameter vector or a structured client
+update — any object exposing ``params`` (required) and optionally
+``gradient`` ndarray attributes, e.g. :class:`repro.core.rules.ClientUpdate`.
+The BOINC layer stays agnostic of the concrete type; it validates both
+vectors so neither a corrupted weight copy nor a divergent accumulated
+gradient reaches an update rule.
 """
 
 from __future__ import annotations
@@ -33,16 +40,18 @@ class ParameterValidator:
         self,
         expected_size: int,
         max_abs_value: float = 1e6,
+        max_abs_gradient: float = 1e9,
         trace: Trace | None = None,
     ) -> None:
         self.expected_size = expected_size
         self.max_abs_value = max_abs_value
+        self.max_abs_gradient = max_abs_gradient
         self.trace = trace
         self.accepted = 0
         self.rejected = 0
 
     def validate(self, payload: object, now: float = 0.0) -> ValidationResult:
-        """Check one uploaded result payload (a flat parameter vector)."""
+        """Check one uploaded result payload (vector or client update)."""
         result = self._check(payload)
         if result.ok:
             self.accepted += 1
@@ -53,17 +62,34 @@ class ParameterValidator:
         return result
 
     def _check(self, payload: object) -> ValidationResult:
+        gradient = None
         if not isinstance(payload, np.ndarray):
-            return ValidationResult(False, f"payload type {type(payload).__name__}")
-        if payload.ndim != 1:
-            return ValidationResult(False, f"expected flat vector, got ndim={payload.ndim}")
-        if payload.size != self.expected_size:
+            # Structured update: validate its parameter copy (and, when
+            # present, the accumulated gradient the rule will consume).
+            params = getattr(payload, "params", None)
+            if params is None:
+                return ValidationResult(False, f"payload type {type(payload).__name__}")
+            gradient = getattr(payload, "gradient", None)
+            payload = params
+        verdict = self._check_vector(payload, "parameter", self.max_abs_value)
+        if not verdict.ok or gradient is None:
+            return verdict
+        return self._check_vector(gradient, "gradient", self.max_abs_gradient)
+
+    def _check_vector(
+        self, vec: object, kind: str, bound: float
+    ) -> ValidationResult:
+        if not isinstance(vec, np.ndarray):
+            return ValidationResult(False, f"{kind} type {type(vec).__name__}")
+        if vec.ndim != 1:
+            return ValidationResult(False, f"expected flat {kind} vector, got ndim={vec.ndim}")
+        if vec.size != self.expected_size:
             return ValidationResult(
-                False, f"size {payload.size} != expected {self.expected_size}"
+                False, f"{kind} size {vec.size} != expected {self.expected_size}"
             )
-        if not np.isfinite(payload).all():
-            return ValidationResult(False, "non-finite parameter values")
-        peak = float(np.abs(payload).max()) if payload.size else 0.0
-        if peak > self.max_abs_value:
-            return ValidationResult(False, f"parameter magnitude {peak:.3g} exceeds bound")
+        if not np.isfinite(vec).all():
+            return ValidationResult(False, f"non-finite {kind} values")
+        peak = float(np.abs(vec).max()) if vec.size else 0.0
+        if peak > bound:
+            return ValidationResult(False, f"{kind} magnitude {peak:.3g} exceeds bound")
         return ValidationResult(True)

@@ -100,27 +100,69 @@ class WorkGenerator:
             raise ConfigurationError("replicas must be >= 1")
         workunits: list[Workunit] = []
         for shard_index in range(self.num_shards):
-            jitter = (
-                float(self.rng.lognormal(mean=0.0, sigma=self.work_jitter))
-                if self.work_jitter > 0
-                else 1.0
-            )
             base_id = f"{self.job_id}:e{epoch:03d}:s{shard_index:03d}"
-            for replica in range(replicas):
-                workunits.append(
-                    Workunit(
-                        wu_id=base_id if replicas == 1 else replica_id(base_id, replica),
-                        job_id=self.job_id,
-                        epoch=epoch,
-                        shard_index=shard_index,
-                        input_files=(
-                            self.model_file_name,
-                            param_file_name,
-                            self.shard_file_name(shard_index),
-                        ),
-                        work_units=self.work_units_per_subtask * jitter,
-                        timeout_s=self.timeout_s,
-                        max_attempts=self.max_attempts,
-                    )
-                )
+            workunits.extend(
+                self._mint_subtask(base_id, epoch, shard_index, param_file_name, replicas)
+            )
         return workunits
+
+    def make_retries(
+        self,
+        epoch: int,
+        param_file_name: str,
+        shard_indices: list[int],
+        round_index: int,
+        replicas: int = 1,
+    ) -> list[Workunit]:
+        """Mint replacement workunits for shards whose subtask failed
+        permanently (all attempts of all replicas exhausted).
+
+        Used by barrier-style update rules that cannot close an epoch while
+        any shard's update is missing: the original workunit ids are spent,
+        so replacements carry a ``:b<round>`` suffix and fresh attempt
+        budgets.
+        """
+        if round_index < 1:
+            raise ConfigurationError("round_index must be >= 1")
+        workunits: list[Workunit] = []
+        for shard_index in shard_indices:
+            base_id = (
+                f"{self.job_id}:e{epoch:03d}:s{shard_index:03d}:b{round_index}"
+            )
+            workunits.extend(
+                self._mint_subtask(base_id, epoch, shard_index, param_file_name, replicas)
+            )
+        return workunits
+
+    def _mint_subtask(
+        self,
+        base_id: str,
+        epoch: int,
+        shard_index: int,
+        param_file_name: str,
+        replicas: int,
+    ) -> list[Workunit]:
+        """One logical subtask: ``replicas`` physical workunits sharing a
+        jitter draw (replicas must be bit-identical, §II-C)."""
+        jitter = (
+            float(self.rng.lognormal(mean=0.0, sigma=self.work_jitter))
+            if self.work_jitter > 0
+            else 1.0
+        )
+        return [
+            Workunit(
+                wu_id=base_id if replicas == 1 else replica_id(base_id, replica),
+                job_id=self.job_id,
+                epoch=epoch,
+                shard_index=shard_index,
+                input_files=(
+                    self.model_file_name,
+                    param_file_name,
+                    self.shard_file_name(shard_index),
+                ),
+                work_units=self.work_units_per_subtask * jitter,
+                timeout_s=self.timeout_s,
+                max_attempts=self.max_attempts,
+            )
+            for replica in range(replicas)
+        ]

@@ -26,11 +26,13 @@ from typing import Sequence
 from .analysis import format_hours, render_table
 from .cloud import PricingClass, paper_p5c5t2_fleet
 from .core import (
+    RULE_NAMES,
     ConstantAlpha,
     FaultConfig,
     RunResult,
     TrainingJobConfig,
     VarAlpha,
+    make_rule,
     run_experiment,
 )
 from .core.baselines import run_single_instance
@@ -60,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha",
         default="var",
         help="constant alpha in (0,1] or 'var' for alpha_e = e/(e+1)",
+    )
+    run_p.add_argument(
+        "--rule",
+        choices=RULE_NAMES,
+        default="vcasgd",
+        help="server-side update rule (vcasgd honours --alpha; the rest "
+        "run the ASGD family on the same substrate)",
+    )
+    run_p.add_argument(
+        "--server-lr",
+        type=float,
+        default=None,
+        help="server step size for gradient rules (downpour/dcasgd/rescaled); "
+        "ignored by averaging rules",
     )
     run_p.add_argument("--target", type=float, default=None, help="stop accuracy")
     run_p.add_argument("--store", choices=["eventual", "strong"], default="eventual")
@@ -98,6 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--epochs", type=int, default=5)
     sweep_p.add_argument("--shards", type=int, default=25)
     sweep_p.add_argument("--alpha", default="0.95")
+    sweep_p.add_argument(
+        "--rule",
+        default="vcasgd",
+        help="comma-separated update rules; more than one adds a sweep axis "
+        f"(choices: {', '.join(RULE_NAMES)})",
+    )
+    sweep_p.add_argument(
+        "--server-lr",
+        type=float,
+        default=None,
+        help="server step size for gradient rules (downpour/dcasgd/rescaled)",
+    )
     sweep_p.add_argument("--seed", type=int, default=1234)
 
     alpha_p = sub.add_parser("alpha-study", help="quick alpha sweep")
@@ -115,6 +143,22 @@ def _parse_alpha(text: str):
     if text.lower() == "var":
         return VarAlpha()
     return ConstantAlpha(float(text))
+
+
+_GRADIENT_RULES = {"downpour", "dcasgd", "rescaled"}
+
+
+def _rule_kwargs(name: str, server_lr) -> dict:
+    if server_lr is not None and name.strip().lower() in _GRADIENT_RULES:
+        return {"server_lr": server_lr}
+    return {}
+
+
+def _parse_rule(name: str, schedule, server_lr=None):
+    """CLI rule name -> config value; None keeps the default VC-ASGD path."""
+    if name.strip().lower() == "vcasgd":
+        return None
+    return make_rule(name, alpha_schedule=schedule, **_rule_kwargs(name, server_lr))
 
 
 def _print_run(result: RunResult) -> None:
@@ -139,6 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_epochs=args.epochs,
         num_shards=args.shards,
         alpha_schedule=_parse_alpha(args.alpha),
+        update_rule=_parse_rule(args.rule, _parse_alpha(args.alpha), args.server_lr),
         target_accuracy=args.target,
         store_kind=args.store,
         replicas=args.replicas,
@@ -240,16 +285,33 @@ def _cmd_alpha_study(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core import Sweep
 
+    schedule = _parse_alpha(args.alpha)
+    rule_tokens = [token.strip() for token in args.rule.split(",") if token.strip()]
     base = TrainingJobConfig(
         max_epochs=args.epochs,
         num_shards=args.shards,
-        alpha_schedule=_parse_alpha(args.alpha),
+        alpha_schedule=schedule,
+        update_rule=(
+            _parse_rule(rule_tokens[0], schedule, args.server_lr)
+            if len(rule_tokens) == 1
+            else None
+        ),
         seed=args.seed,
     )
     sweep = Sweep(base)
     sweep.axis("num_param_servers", [int(v) for v in args.servers.split(",")])
     sweep.axis("num_clients", [int(v) for v in args.clients.split(",")])
     sweep.axis("max_concurrent_subtasks", [int(v) for v in args.concurrency.split(",")])
+    if len(rule_tokens) > 1:
+        # Rule-comparison sweeps carry explicit rule objects (vcasgd
+        # included) so each point's label names the rule it ran.
+        sweep.axis(
+            "update_rule",
+            [
+                make_rule(token, schedule, **_rule_kwargs(token, args.server_lr))
+                for token in rule_tokens
+            ],
+        )
     print(f"running {sweep.size} configurations ...")
     sweep.run(progress=lambda p: print(f"  done: {p.label()}"))
     print(render_table(sweep.headers(), sweep.table_rows(), title="sweep results"))

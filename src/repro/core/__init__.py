@@ -6,7 +6,19 @@ from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .job import FaultConfig, LocalTrainingConfig, TrainingJobConfig
 from .param_server import PARAM_KEY, AssimilationStats, ParameterServerPool
 from .results import EpochRecord, RunResult
-from .runner import DistributedRunner, run_experiment
+from .rules import (
+    RULE_NAMES,
+    ClientUpdate,
+    DCASGDRule,
+    DownpourRule,
+    EASGDRule,
+    RescaledASGDRule,
+    SyncAllReduceRule,
+    UpdateRule,
+    VCASGDRule,
+    make_rule,
+)
+from .runner import DistributedRunner, VersionedParams, run_experiment
 from .sweep import Sweep, SweepPoint
 from .vcasgd import (
     AlphaSchedule,
@@ -33,9 +45,20 @@ __all__ = [
     "EpochRecord",
     "RunResult",
     "DistributedRunner",
+    "VersionedParams",
     "run_experiment",
     "Sweep",
     "SweepPoint",
+    "ClientUpdate",
+    "UpdateRule",
+    "VCASGDRule",
+    "DownpourRule",
+    "EASGDRule",
+    "DCASGDRule",
+    "RescaledASGDRule",
+    "SyncAllReduceRule",
+    "RULE_NAMES",
+    "make_rule",
     "AlphaSchedule",
     "ConstantAlpha",
     "VarAlpha",

@@ -28,10 +28,10 @@ from ...nn.losses import cross_entropy
 from ...nn.metrics import evaluate_classifier
 from ...nn.models import ModelSpec, build_model
 from ...nn.optim import SGD
-from ...nn.serialization import state_to_vector, vector_to_state
+from ...nn.serialization import gradients_to_vector, state_to_vector, vector_to_state
 from ...nn.tensor import Tensor
 from ...simulation.rng import RngRegistry
-from .rules import ClientUpdate, UpdateRule
+from ..rules import ClientUpdate, UpdateRule
 
 __all__ = ["RoundConfig", "RoundRecord", "RoundResult", "RoundHarness"]
 
@@ -139,7 +139,9 @@ class RoundHarness:
                 grads = {
                     name: p.grad for name, p in self.model.named_parameters()
                 }
-                accumulated += state_to_vector(grads)
+                # Zero-filled at buffer slots, so it stays aligned with the
+                # parameter vector even for models with buffers.
+                accumulated += gradients_to_vector(grads, self.template)
                 opt.step()
                 steps += 1
         return state_to_vector(self.model.state_dict()), accumulated

@@ -1,30 +1,23 @@
-"""Server-side update rules for the ASGD family the paper compares against.
-
-§II-B / §III-C discuss three prior schemes; each is implemented as an
-:class:`UpdateRule` so the round harness (:mod:`.rounds`) can race them
-against VC-ASGD under volunteer-computing conditions (dropouts, staleness):
-
-* **Downpour SGD** (Dean et al.) — clients push *gradients*; the server
-  applies them directly with its own learning rate.
-* **EASGD** (Zhang et al.) — elastic averaging with moving rate β; the
-  canonical asynchronous form updates both sides with the elastic force.
-  Its round form *requires updates from every client* (the paper's point
-  about fault intolerance is modelled in the harness barrier).
-* **DC-ASGD** (Zheng et al.) — Downpour plus a delay-compensation term
-  built from a diagonal Hessian approximation:
-  ``g + λ · g ⊙ g ⊙ (W_now − W_backup)``.
-
-All rules operate on flat float64 parameter/gradient vectors.
+"""Back-compat shim: the update-rule family now lives in
+:mod:`repro.core.rules`, promoted from a baselines-only helper to the
+core server-side abstraction (both the round harness and the full BOINC
+pipeline apply the same rule objects).  Import from ``repro.core.rules``
+in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ...errors import ConfigurationError
-from ..vcasgd import AlphaSchedule, vcasgd_merge
+from ..rules import (
+    ClientUpdate,
+    DCASGDRule,
+    DownpourRule,
+    EASGDRule,
+    RescaledASGDRule,
+    SyncAllReduceRule,
+    UpdateRule,
+    VCASGDRule,
+    make_rule,
+)
 
 __all__ = [
     "ClientUpdate",
@@ -33,164 +26,7 @@ __all__ = [
     "DownpourRule",
     "EASGDRule",
     "DCASGDRule",
+    "RescaledASGDRule",
     "SyncAllReduceRule",
+    "make_rule",
 ]
-
-
-@dataclass(frozen=True)
-class ClientUpdate:
-    """What one client sends to the server after local training.
-
-    VC-ASGD and EASGD consume ``params`` (a full weight copy); Downpour and
-    DC-ASGD consume ``gradient`` (the accumulated local gradient).  Both are
-    populated by the round harness so any rule can run on the same trace.
-    ``base_version`` identifies the server snapshot the client started from
-    (staleness bookkeeping; DC-ASGD uses the corresponding backup weights).
-    """
-
-    client_id: int
-    params: np.ndarray
-    gradient: np.ndarray
-    base_version: int
-
-
-class UpdateRule:
-    """Applies client updates to the server parameter vector."""
-
-    #: Whether the rule can make progress when some clients never report
-    #: (VC-ASGD / Downpour / DC-ASGD: yes; EASGD round form: no).
-    fault_tolerant: bool = True
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        """Return the new server vector after absorbing one client update."""
-        raise NotImplementedError
-
-    def snapshot_sent(self, version: int, server: np.ndarray) -> None:
-        """Hook: the server copy ``server`` was sent out as ``version``."""
-
-    def describe(self) -> str:
-        """Short label used in result tables."""
-        return type(self).__name__
-
-
-@dataclass
-class VCASGDRule(UpdateRule):
-    """The paper's Eq. 1 with an α schedule."""
-
-    schedule: AlphaSchedule
-    fault_tolerant: bool = True
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return vcasgd_merge(server, update.params, self.schedule.alpha_at(epoch))
-
-    def describe(self) -> str:
-        return f"VC-ASGD({self.schedule.describe()})"
-
-
-@dataclass
-class DownpourRule(UpdateRule):
-    """Server-side SGD on pushed gradients (Downpour's parameter server)."""
-
-    server_lr: float = 0.05
-    fault_tolerant: bool = True
-
-    def __post_init__(self) -> None:
-        if self.server_lr <= 0:
-            raise ConfigurationError("server_lr must be positive")
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return server - self.server_lr * update.gradient
-
-    def describe(self) -> str:
-        return f"Downpour(lr={self.server_lr})"
-
-
-@dataclass
-class EASGDRule(UpdateRule):
-    """Elastic averaging: ``W_s ← W_s + β (W_c − W_s)``.
-
-    Algebraically the server-side move equals VC-ASGD with α = 1 − β (the
-    paper reads its α = 0.999 run as EASGD with moving rate 0.001).  The
-    crucial *system* difference — EASGD expects every client's update each
-    round — is enforced by the harness when ``fault_tolerant`` is False.
-    """
-
-    moving_rate: float = 0.001
-    fault_tolerant: bool = False
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.moving_rate < 1.0:
-            raise ConfigurationError("moving_rate must be in (0, 1)")
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return server + self.moving_rate * (update.params - server)
-
-    def describe(self) -> str:
-        return f"EASGD(beta={self.moving_rate})"
-
-
-@dataclass
-class SyncAllReduceRule(UpdateRule):
-    """Bulk-synchronous data parallelism (the AllReduce family, §II-B).
-
-    Each round the server replaces its copy with the *mean* of every
-    client's parameters — computed incrementally as updates arrive
-    (``W ← W + (W_c − W)/k`` for the k-th arrival of the round), which
-    equals the exact mean once all have landed.  Like every BSP scheme it
-    requires all clients per round, so ``fault_tolerant = False``: in a VC
-    environment each dropout stalls the barrier.
-    """
-
-    fault_tolerant: bool = False
-    _round: int = field(default=-1, repr=False)
-    _arrivals: int = field(default=0, repr=False)
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        if epoch != self._round:
-            self._round = epoch
-            self._arrivals = 0
-        self._arrivals += 1
-        if self._arrivals == 1:
-            return update.params.copy()
-        return server + (update.params - server) / self._arrivals
-
-    def describe(self) -> str:
-        return "SyncAllReduce"
-
-
-@dataclass
-class DCASGDRule(UpdateRule):
-    """Delay-compensated ASGD (Zheng et al. 2017).
-
-    Keeps a backup of each parameter snapshot it hands out; on receiving a
-    gradient computed against backup ``W_bak`` while the server has moved
-    to ``W_s``, applies::
-
-        W_s ← W_s − lr · (g + λ · g ⊙ g ⊙ (W_s − W_bak))
-
-    The λ-term is the diagonal approximation of the Hessian correction.
-    """
-
-    server_lr: float = 0.05
-    lam: float = 0.04
-    fault_tolerant: bool = True
-    _backups: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.server_lr <= 0 or self.lam < 0:
-            raise ConfigurationError("invalid DC-ASGD parameters")
-
-    def snapshot_sent(self, version: int, server: np.ndarray) -> None:
-        self._backups[version] = server.copy()
-
-    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        backup = self._backups.get(update.base_version)
-        g = update.gradient
-        if backup is None:
-            compensated = g
-        else:
-            compensated = g + self.lam * g * g * (server - backup)
-        return server - self.server_lr * compensated
-
-    def describe(self) -> str:
-        return f"DC-ASGD(lr={self.server_lr}, lambda={self.lam})"

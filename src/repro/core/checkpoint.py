@@ -5,8 +5,12 @@ tolerant against failure of the centralized server".  In the paper's
 design the server parameter copy lives in a database, so a restarted
 server can resume the job.  This module makes that concrete: a
 :class:`Checkpoint` captures the server parameter vector, the completed
-epoch count, the elapsed simulated time and the per-epoch history; a new
-:class:`~repro.core.runner.DistributedRunner` can resume from it.
+epoch count, the elapsed simulated time, the per-epoch history, the
+parameter-publish counter, and the update rule's internal state (DC-ASGD
+delay-compensation backups, sync-round counters — see
+:meth:`repro.core.rules.UpdateRule.state_dict`); a new
+:class:`~repro.core.runner.DistributedRunner` can resume from it with the
+rule exactly where it left off.
 
 Checkpoints serialize to a single ``.npz`` file (the same codec the
 parameter files use).
@@ -49,15 +53,26 @@ class Checkpoint:
     elapsed_s: float
     label: str = ""
     history: tuple[EpochRecord, ...] = field(default_factory=tuple)
+    # Update-rule internals (see UpdateRule.state_dict) and the parameter
+    # publish counter, so staleness/delay bookkeeping survives a restart.
+    rule_state: dict[str, np.ndarray] = field(default_factory=dict)
+    publish_count: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs_completed < 0 or self.elapsed_s < 0:
             raise TrainingError("checkpoint with negative progress")
         if np.asarray(self.params).ndim != 1:
             raise TrainingError("checkpoint params must be a flat vector")
+        if self.publish_count < 0:
+            raise TrainingError("checkpoint with negative publish count")
 
     @staticmethod
-    def from_result(result: RunResult, params: np.ndarray) -> "Checkpoint":
+    def from_result(
+        result: RunResult,
+        params: np.ndarray,
+        rule_state: dict[str, np.ndarray] | None = None,
+        publish_count: int = 0,
+    ) -> "Checkpoint":
         """Snapshot the end state of a (possibly partial) run."""
         return Checkpoint(
             params=np.asarray(params, dtype=np.float64).copy(),
@@ -65,6 +80,8 @@ class Checkpoint:
             elapsed_s=result.total_time_s,
             label=result.label,
             history=tuple(result.epochs),
+            rule_state=dict(rule_state or {}),
+            publish_count=publish_count,
         )
 
     def seed_result(self) -> RunResult:
@@ -81,6 +98,7 @@ class Checkpoint:
             "epochs_completed": self.epochs_completed,
             "elapsed_s": self.elapsed_s,
             "label": self.label,
+            "publish_count": self.publish_count,
         }
         columns = {
             f"history_{name}": np.asarray(
@@ -88,6 +106,9 @@ class Checkpoint:
             )
             for name in _RECORD_FIELDS
         }
+        columns.update(
+            {f"rule__{key}": np.asarray(value) for key, value in self.rule_state.items()}
+        )
         buf = io.BytesIO()
         np.savez_compressed(
             buf,
@@ -123,12 +144,19 @@ class Checkpoint:
                     )
                     for i in range(n)
                 )
+                rule_state = {
+                    name[len("rule__"):]: archive[name].copy()
+                    for name in archive.files
+                    if name.startswith("rule__")
+                }
                 return Checkpoint(
                     params=archive["params"].copy(),
                     epochs_completed=meta["epochs_completed"],
                     elapsed_s=meta["elapsed_s"],
                     label=meta["label"],
                     history=history,
+                    rule_state=rule_state,
+                    publish_count=meta.get("publish_count", 0),
                 )
         except TrainingError:
             raise

@@ -15,6 +15,7 @@ from ..data.synthetic import SyntheticImageConfig
 from ..errors import ConfigurationError
 from ..nn.models import ModelSpec
 from ..simulation.resources import TABLE1_CLIENTS, TABLE1_SERVER, InstanceSpec
+from .rules import UpdateRule, VCASGDRule
 from .vcasgd import AlphaSchedule, ConstantAlpha
 
 __all__ = ["LocalTrainingConfig", "FaultConfig", "TrainingJobConfig"]
@@ -89,6 +90,12 @@ class TrainingJobConfig:
     num_clients: int = 3
     max_concurrent_subtasks: int = 2
     alpha_schedule: AlphaSchedule = field(default_factory=lambda: ConstantAlpha(0.95))
+    # Server-side merge rule.  None selects the paper's VC-ASGD (Eq. 1)
+    # driven by ``alpha_schedule``; any other member of the ASGD family
+    # (Downpour, EASGD, DC-ASGD, Rescaled ASGD, SyncAllReduce — see
+    # repro.core.rules) runs on the identical BOINC substrate.  The runner
+    # deep-copies the rule so stateful rules never leak across runs.
+    update_rule: UpdateRule | None = None
 
     # -- workload -----------------------------------------------------------
     model: ModelSpec = field(
@@ -162,6 +169,11 @@ class TrainingJobConfig:
             raise ConfigurationError("need at least one client spec")
         if self.warm_start_passes < 0:
             raise ConfigurationError("warm_start_passes must be non-negative")
+        if self.update_rule is not None and not isinstance(self.update_rule, UpdateRule):
+            raise ConfigurationError(
+                f"update_rule must be an UpdateRule or None, "
+                f"got {type(self.update_rule).__name__}"
+            )
         if self.replicas < 1 or not 1 <= self.quorum <= self.replicas:
             raise ConfigurationError(
                 f"invalid replication: replicas={self.replicas}, quorum={self.quorum}"
@@ -197,3 +209,14 @@ class TrainingJobConfig:
     def with_alpha(self, schedule: AlphaSchedule) -> "TrainingJobConfig":
         """Copy with a different α schedule (the Fig. 4 sweep helper)."""
         return replace(self, alpha_schedule=schedule)
+
+    def with_rule(self, rule: UpdateRule | None) -> "TrainingJobConfig":
+        """Copy with a different server-side update rule (the rule-family
+        comparison helper); None restores the default VC-ASGD."""
+        return replace(self, update_rule=rule)
+
+    def resolved_update_rule(self) -> UpdateRule:
+        """The configured rule, or the default VC-ASGD over ``alpha_schedule``."""
+        if self.update_rule is not None:
+            return self.update_rule
+        return VCASGDRule(self.alpha_schedule)

@@ -5,9 +5,11 @@ key-value store (Redis-like eventual or MySQL-like strong consistency).
 BOINC "evenly distributes the load": exactly one server processes each
 result, so the pool is a P-worker FIFO queue.  Processing one result:
 
-1. read-modify-write the store: Eq. 1 merge of the client's parameter
-   vector into the server copy (store semantics decide whether concurrent
-   merges can be lost);
+1. read-modify-write the store: apply the job's :class:`UpdateRule` to
+   merge the client's update into the server copy (store semantics decide
+   whether concurrent merges can be lost).  The default rule is the
+   paper's Eq. 1 (:class:`~repro.core.rules.VCASGDRule`); any member of
+   the ASGD family can be plugged in instead;
 2. compute the validation accuracy of the merged copy (real forward pass;
    its *duration* is simulated work on the shared server CPU);
 3. republish the parameter file so subsequent workunit downloads see the
@@ -25,13 +27,14 @@ from typing import Callable
 
 import numpy as np
 
+from ..boinc.workunit import Workunit
 from ..errors import ConfigurationError, TrainingError
 from ..kvstore.base import KVStore
 from ..simulation.engine import Simulator
 from ..simulation.resources import ComputeResource
 from ..simulation.tracing import Trace
-from ..boinc.workunit import Workunit
-from .vcasgd import AlphaSchedule, vcasgd_merge
+from .rules import ClientUpdate, UpdateRule, VCASGDRule
+from .vcasgd import AlphaSchedule
 
 __all__ = ["AssimilationStats", "ParameterServerPool", "PARAM_KEY"]
 
@@ -57,9 +60,11 @@ class AssimilationStats:
 
 
 class ParameterServerPool:
-    """P-worker assimilation pipeline implementing VC-ASGD.
+    """P-worker assimilation pipeline applying a pluggable update rule.
 
     Implements the :class:`repro.boinc.assimilator.Assimilator` protocol.
+    ``rule`` is the server-side merge; passing ``alpha_schedule`` instead
+    builds the default :class:`VCASGDRule` (backward-compatible shorthand).
     """
 
     def __init__(
@@ -67,9 +72,10 @@ class ParameterServerPool:
         sim: Simulator,
         num_servers: int,
         store: KVStore,
-        alpha_schedule: AlphaSchedule,
         server_cpu: ComputeResource,
         evaluate_fn: Callable[[np.ndarray], tuple[float, float]],
+        rule: UpdateRule | None = None,
+        alpha_schedule: AlphaSchedule | None = None,
         republish_fn: Callable[[np.ndarray], None] | None = None,
         validation_work_units: float = 8.0,
         param_nbytes: int | None = None,
@@ -79,17 +85,24 @@ class ParameterServerPool:
             raise ConfigurationError(f"num_servers (Pn) must be positive, got {num_servers}")
         if validation_work_units <= 0:
             raise ConfigurationError("validation_work_units must be positive")
+        if rule is None:
+            if alpha_schedule is None:
+                raise ConfigurationError(
+                    "pass an UpdateRule (rule=...) or an AlphaSchedule "
+                    "(alpha_schedule=...) for the default VC-ASGD rule"
+                )
+            rule = VCASGDRule(alpha_schedule)
         self.sim = sim
         self.num_servers = num_servers
         self.store = store
-        self.alpha_schedule = alpha_schedule
+        self.rule = rule
         self.server_cpu = server_cpu
         self.evaluate_fn = evaluate_fn
         self.republish_fn = republish_fn
         self.validation_work_units = validation_work_units
         self.param_nbytes = param_nbytes
         self.trace = trace
-        self._queue: deque[tuple[Workunit, np.ndarray, Callable[[], None], float]] = deque()
+        self._queue: deque[tuple[Workunit, ClientUpdate, Callable[[], None], float]] = deque()
         self._busy_workers = 0
         self.stats = AssimilationStats()
         # epoch -> list of per-assimilation validation accuracies
@@ -99,12 +112,24 @@ class ParameterServerPool:
     def assimilate(
         self, workunit: Workunit, payload: object, on_done: Callable[[], None]
     ) -> None:
-        """Queue one validated client result for processing."""
-        if not isinstance(payload, np.ndarray):
-            raise TrainingError(
-                f"assimilator expected a parameter vector, got {type(payload).__name__}"
+        """Queue one validated client result for processing.
+
+        ``payload`` is a :class:`ClientUpdate`; a bare parameter vector is
+        accepted and wrapped (legacy callers and parameter-only tests).
+        """
+        if isinstance(payload, ClientUpdate):
+            update = payload
+        elif isinstance(payload, np.ndarray):
+            client_id = (
+                workunit.attempts[-1].client_id if workunit.attempts else ""
             )
-        self._queue.append((workunit, payload, on_done, self.sim.now))
+            update = ClientUpdate(client_id=client_id, params=payload)
+        else:
+            raise TrainingError(
+                f"assimilator expected a ClientUpdate or parameter vector, "
+                f"got {type(payload).__name__}"
+            )
+        self._queue.append((workunit, update, on_done, self.sim.now))
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
         self._dispatch()
 
@@ -127,18 +152,18 @@ class ParameterServerPool:
     def _process(
         self,
         wu: Workunit,
-        client_vec: np.ndarray,
+        update: ClientUpdate,
         on_done: Callable[[], None],
         enqueued_at: float,
     ) -> None:
         start = self.sim.now
         self.stats.total_queue_wait += start - enqueued_at
-        alpha = self.alpha_schedule.alpha_at(wu.epoch + 1)  # paper epochs are 1-based
 
         def merge(old_vec: np.ndarray) -> np.ndarray:
             # Out of place: with the eventual store, ``old_vec`` may be a
             # snapshot other in-flight transactions still reference.
-            return vcasgd_merge(old_vec, client_vec, alpha)
+            # Paper epochs are 1-based.
+            return self.rule.apply(old_vec, update, wu.epoch + 1)
 
         def after_store(new_vec: np.ndarray) -> None:
             # Validation pass: the real accuracy is computed now; the time
@@ -162,7 +187,7 @@ class ParameterServerPool:
                     "ps.assimilated",
                     wu=wu.wu_id,
                     epoch=wu.epoch,
-                    alpha=alpha,
+                    rule=self.rule.describe(),
                     accuracy=accuracy,
                     queue_wait=start - enqueued_at,
                 )

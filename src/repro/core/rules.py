@@ -1,0 +1,375 @@
+"""Server-side update rules: the pluggable merge fabric of the pipeline.
+
+§II-B / §III-C compare VC-ASGD against the prior ASGD family.  Every
+scheme is an :class:`UpdateRule` applied per arriving client result, so
+the *same* rule objects run on both substrates:
+
+* the compact round harness (:mod:`.baselines.rounds`), which isolates the
+  update-rule variable; and
+* the full BOINC pipeline (:class:`~repro.core.runner.DistributedRunner`
+  → :class:`~repro.core.param_server.ParameterServerPool`), where rules
+  additionally experience real staleness, timeouts, preemptions and
+  KV-store semantics.
+
+Rules implemented:
+
+* **VC-ASGD** (the paper, Eq. 1) — weighted merge of the client's full
+  parameter copy with an α schedule.
+* **Downpour SGD** (Dean et al.) — clients push *gradients*; the server
+  applies them directly with its own learning rate.
+* **EASGD** (Zhang et al.) — elastic averaging with moving rate β; the
+  canonical round form *requires updates from every client*, which is the
+  paper's fault-intolerance argument (modelled as a barrier in both
+  harnesses).
+* **DC-ASGD** (Zheng et al.) — Downpour plus a delay-compensation term
+  built from a diagonal Hessian approximation:
+  ``g + λ · g ⊙ g ⊙ (W_now − W_backup)``.
+* **Rescaled ASGD** (after Mahran et al.) — delay-scaled Downpour: the
+  server step for an update with staleness τ is divided by (1 + τ), so
+  stragglers on slow volunteers cannot blow up the server copy.
+* **SyncAllReduce** — bulk-synchronous mean, the AllReduce family's
+  fault-intolerant reference point.
+
+All rules operate on flat float64 parameter/gradient vectors (the
+:mod:`repro.nn.serialization` codec).  Stateful rules (DC-ASGD backups,
+sync-round counters) expose ``state_dict``/``load_state_dict`` so their
+state participates in :class:`~repro.core.checkpoint.Checkpoint`
+save/resume — a server failure must not silently reset delay compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .vcasgd import AlphaSchedule, ConstantAlpha, VarAlpha, vcasgd_merge
+
+__all__ = [
+    "ClientUpdate",
+    "UpdateRule",
+    "VCASGDRule",
+    "DownpourRule",
+    "EASGDRule",
+    "DCASGDRule",
+    "RescaledASGDRule",
+    "SyncAllReduceRule",
+    "RULE_NAMES",
+    "make_rule",
+]
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    """What one client sends to the server after local training.
+
+    VC-ASGD and EASGD consume ``params`` (a full weight copy); Downpour,
+    DC-ASGD and Rescaled ASGD consume ``gradient`` (the accumulated local
+    gradient in the same flat codec, zero-filled at buffer slots).
+    ``base_version`` identifies the server publish the client started from
+    (staleness bookkeeping; DC-ASGD uses the corresponding backup weights).
+
+    On the full pipeline this object is the upload payload itself: it flows
+    through the BOINC validator, replication quorum and assimilator intact.
+    ``gradient`` may be None when the configured rule does not need it
+    (clients then skip the accumulation work).
+    """
+
+    client_id: int | str
+    params: np.ndarray
+    gradient: np.ndarray | None = None
+    base_version: int = 0
+
+
+class UpdateRule:
+    """Applies client updates to the server parameter vector."""
+
+    #: Whether the rule can make progress when some clients never report
+    #: (VC-ASGD / Downpour / DC-ASGD / Rescaled: yes; EASGD and BSP: no).
+    fault_tolerant: bool = True
+
+    #: Whether :meth:`apply` reads ``update.gradient``.  Clients only pay
+    #: for gradient accumulation when the job's rule needs it.
+    uses_gradient: bool = False
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        """Return the new server vector after absorbing one client update.
+
+        Must be out of place: with an eventually consistent store,
+        ``server`` may be a snapshot other in-flight transactions still
+        reference.  ``epoch`` is 1-based, as the paper counts.
+        """
+        raise NotImplementedError
+
+    def snapshot_sent(self, version: int, server: np.ndarray) -> None:
+        """Hook: the server copy ``server`` was published as ``version``."""
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Checkpointable rule state (empty for stateless rules)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise ConfigurationError(
+                f"{type(self).__name__} is stateless but got rule state "
+                f"{sorted(state)}"
+            )
+
+    def describe(self) -> str:
+        """Short label used in result tables."""
+        return type(self).__name__
+
+    @staticmethod
+    def _require_gradient(update: ClientUpdate) -> np.ndarray:
+        if update.gradient is None:
+            raise ConfigurationError(
+                "update rule needs an accumulated gradient but the client "
+                "update carries none (was the job configured before the "
+                "rule was set?)"
+            )
+        return update.gradient
+
+
+@dataclass
+class VCASGDRule(UpdateRule):
+    """The paper's Eq. 1 with an α schedule."""
+
+    schedule: AlphaSchedule
+    fault_tolerant: bool = True
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return vcasgd_merge(server, update.params, self.schedule.alpha_at(epoch))
+
+    def describe(self) -> str:
+        return f"VC-ASGD({self.schedule.describe()})"
+
+
+@dataclass
+class DownpourRule(UpdateRule):
+    """Server-side SGD on pushed gradients (Downpour's parameter server)."""
+
+    server_lr: float = 0.05
+    fault_tolerant: bool = True
+    uses_gradient: bool = True
+
+    def __post_init__(self) -> None:
+        if self.server_lr <= 0:
+            raise ConfigurationError("server_lr must be positive")
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return server - self.server_lr * self._require_gradient(update)
+
+    def describe(self) -> str:
+        return f"Downpour(lr={self.server_lr})"
+
+
+@dataclass
+class EASGDRule(UpdateRule):
+    """Elastic averaging: ``W_s ← W_s + β (W_c − W_s)``.
+
+    Algebraically the server-side move equals VC-ASGD with α = 1 − β (the
+    paper reads its α = 0.999 run as EASGD with moving rate 0.001).  The
+    crucial *system* difference — EASGD expects every client's update each
+    round — is enforced by the harness when ``fault_tolerant`` is False.
+    """
+
+    moving_rate: float = 0.001
+    fault_tolerant: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.moving_rate < 1.0:
+            raise ConfigurationError("moving_rate must be in (0, 1)")
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return server + self.moving_rate * (update.params - server)
+
+    def describe(self) -> str:
+        return f"EASGD(beta={self.moving_rate})"
+
+
+@dataclass
+class SyncAllReduceRule(UpdateRule):
+    """Bulk-synchronous data parallelism (the AllReduce family, §II-B).
+
+    Each round the server replaces its copy with the *mean* of every
+    client's parameters — computed incrementally as updates arrive
+    (``W ← W + (W_c − W)/k`` for the k-th arrival of the round), which
+    equals the exact mean once all have landed.  Like every BSP scheme it
+    requires all clients per round, so ``fault_tolerant = False``: in a VC
+    environment each dropout stalls the barrier.
+    """
+
+    fault_tolerant: bool = False
+    _round: int = field(default=-1, repr=False)
+    _arrivals: int = field(default=0, repr=False)
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        if epoch != self._round:
+            self._round = epoch
+            self._arrivals = 0
+        self._arrivals += 1
+        if self._arrivals == 1:
+            return update.params.copy()
+        return server + (update.params - server) / self._arrivals
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "round": np.asarray([self._round]),
+            "arrivals": np.asarray([self._arrivals]),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            self._round = int(np.asarray(state["round"])[0])
+            self._arrivals = int(np.asarray(state["arrivals"])[0])
+
+    def describe(self) -> str:
+        return "SyncAllReduce"
+
+
+@dataclass
+class DCASGDRule(UpdateRule):
+    """Delay-compensated ASGD (Zheng et al. 2017).
+
+    Keeps a backup of each parameter snapshot it hands out; on receiving a
+    gradient computed against backup ``W_bak`` while the server has moved
+    to ``W_s``, applies::
+
+        W_s ← W_s − lr · (g + λ · g ⊙ g ⊙ (W_s − W_bak))
+
+    The λ-term is the diagonal approximation of the Hessian correction.
+    ``max_backups`` bounds memory on long runs: only the most recent
+    publishes keep a backup; older updates fall back to plain Downpour
+    (their compensation window has passed anyway).
+    """
+
+    server_lr: float = 0.05
+    lam: float = 0.04
+    max_backups: int = 64
+    fault_tolerant: bool = True
+    uses_gradient: bool = True
+    _backups: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.server_lr <= 0 or self.lam < 0:
+            raise ConfigurationError("invalid DC-ASGD parameters")
+        if self.max_backups < 1:
+            raise ConfigurationError("max_backups must be >= 1")
+
+    def snapshot_sent(self, version: int, server: np.ndarray) -> None:
+        self._backups[version] = server.copy()
+        while len(self._backups) > self.max_backups:
+            del self._backups[min(self._backups)]
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        backup = self._backups.get(update.base_version)
+        g = self._require_gradient(update)
+        if backup is None:
+            compensated = g
+        else:
+            compensated = g + self.lam * g * g * (server - backup)
+        return server - self.server_lr * compensated
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"backup:{version}": vec for version, vec in self._backups.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._backups = {
+            int(key.split(":", 1)[1]): np.asarray(vec, dtype=np.float64).copy()
+            for key, vec in state.items()
+        }
+
+    def describe(self) -> str:
+        return f"DC-ASGD(lr={self.server_lr}, lambda={self.lam})"
+
+
+@dataclass
+class RescaledASGDRule(UpdateRule):
+    """Staleness-rescaled ASGD (after Mahran et al.).
+
+    A Downpour-style gradient step whose size shrinks with the update's
+    *delay*: an update trained from publish ``base_version`` while the
+    server is at version ``v`` has staleness τ = v − base_version and is
+    applied as::
+
+        W_s ← W_s − (lr / (1 + τ)^p) · g
+
+    With p = 1 this is the classic staleness-aware rescaling (Rudra's
+    τ-inverse learning rate, Gupta et al., reaches the same fixed point);
+    heterogeneous volunteer fleets produce highly dispersed τ, which is
+    exactly the regime the rescaling targets.  The rule tracks the latest
+    published version via :meth:`snapshot_sent`, so it needs no harness
+    cooperation beyond the version tags every publish already carries.
+    """
+
+    server_lr: float = 0.05
+    power: float = 1.0
+    fault_tolerant: bool = True
+    uses_gradient: bool = True
+    _latest_version: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.server_lr <= 0 or self.power < 0:
+            raise ConfigurationError("invalid Rescaled ASGD parameters")
+
+    def snapshot_sent(self, version: int, server: np.ndarray) -> None:
+        self._latest_version = max(self._latest_version, version)
+
+    def staleness_of(self, update: ClientUpdate) -> int:
+        """Delay τ of an update relative to the latest publish."""
+        return max(0, self._latest_version - update.base_version)
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        g = self._require_gradient(update)
+        scale = self.server_lr / (1.0 + self.staleness_of(update)) ** self.power
+        return server - scale * g
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"latest_version": np.asarray([self._latest_version])}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            self._latest_version = int(np.asarray(state["latest_version"])[0])
+
+    def describe(self) -> str:
+        return f"RescaledASGD(lr={self.server_lr}, p={self.power:g})"
+
+
+# -- factory (CLI / sweep surface) ------------------------------------------
+
+RULE_NAMES = ("vcasgd", "downpour", "easgd", "dcasgd", "rescaled", "allreduce")
+
+
+def make_rule(
+    name: str, alpha_schedule: AlphaSchedule | None = None, **kwargs
+) -> UpdateRule:
+    """Build an update rule from its CLI name.
+
+    ``alpha_schedule`` is consumed by ``vcasgd`` only (defaulting to the
+    paper's Var schedule); ``kwargs`` pass through to the rule constructor.
+    """
+    key = name.strip().lower().replace("-", "").replace("_", "")
+    if key == "vcasgd":
+        return VCASGDRule(alpha_schedule or VarAlpha(), **kwargs)
+    if key == "easgd" and alpha_schedule is not None and not kwargs:
+        # The paper reads alpha=0.999 as EASGD beta=0.001; honour a constant
+        # alpha by translating it to the moving rate.
+        if isinstance(alpha_schedule, ConstantAlpha) and alpha_schedule.alpha < 1.0:
+            return EASGDRule(moving_rate=1.0 - alpha_schedule.alpha)
+    builders = {
+        "downpour": DownpourRule,
+        "easgd": EASGDRule,
+        "dcasgd": DCASGDRule,
+        "rescaled": RescaledASGDRule,
+        "rescaledasgd": RescaledASGDRule,
+        "allreduce": SyncAllReduceRule,
+        "syncallreduce": SyncAllReduceRule,
+    }
+    try:
+        return builders[key](**kwargs)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown update rule {name!r}; expected one of {', '.join(RULE_NAMES)}"
+        ) from None

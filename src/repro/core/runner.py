@@ -20,7 +20,8 @@ Client-side training is *real* NumPy training; every duration is
 
 from __future__ import annotations
 
-from dataclasses import replace
+import copy
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -35,7 +36,7 @@ from ..boinc.workunit import Workunit, WorkunitState
 from ..data.dataset import Dataset
 from ..data.loader import BatchLoader
 from ..data.synthetic import make_classification_splits
-from ..errors import TrainingError
+from ..errors import SchedulerError, TrainingError
 from ..kvstore.eventual import EventualStore
 from ..kvstore.strong import StrongStore
 from ..kvstore.latency import mysql_like_latency, redis_like_latency
@@ -44,7 +45,7 @@ from ..nn.losses import cross_entropy
 from ..nn.metrics import evaluate_classifier
 from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
-from ..nn.serialization import state_to_vector, vector_to_state
+from ..nn.serialization import GradientAccumulator, state_to_vector, vector_to_state
 from ..nn.tensor import Tensor
 from ..simulation.congestion import CongestedLink, CongestionSchedule
 from ..simulation.engine import Simulator
@@ -56,14 +57,34 @@ from .checkpoint import Checkpoint
 from .job import TrainingJobConfig
 from .param_server import ParameterServerPool
 from .results import EpochRecord, RunResult
+from .rules import ClientUpdate
 
-__all__ = ["DistributedRunner", "run_experiment"]
+__all__ = ["DistributedRunner", "VersionedParams", "run_experiment"]
 
 PARAM_FILE = "job:params"
 # Compressed/raw ratio for float64 weight vectors; measured once from the
 # npz codec on representative weights and then reused (computing a real
 # compression per update would dominate runtime without changing behaviour).
 PARAM_COMPRESSION_RATIO = 0.9
+# A fault-intolerant rule (EASGD, BSP AllReduce) cannot finish an epoch
+# while any shard's update is missing; the runner reissues replacement
+# workunits for the missing shards at most this many times before declaring
+# the barrier permanently stalled.
+MAX_BARRIER_RETRIES = 3
+
+
+@dataclass(frozen=True)
+class VersionedParams:
+    """Published server parameter copy, tagged with its publish version.
+
+    The version travels with the payload itself, so staleness bookkeeping
+    no longer needs an id()-keyed side table that outlives its vectors:
+    every downloader reads the version straight off the file it trained
+    from, including frozen per-epoch replica copies.
+    """
+
+    params: np.ndarray
+    version: int
 
 
 class DistributedRunner:
@@ -78,14 +99,25 @@ class DistributedRunner:
         self.trace = Trace()
         self._resume = resume_from
         self._time_offset = 0.0
+        # The server-side merge rule.  Deep-copied so stateful rules
+        # (DC-ASGD backups, BSP round counters) never leak between runs or
+        # sweep points sharing one config object.
+        self.rule = copy.deepcopy(config.resolved_update_rule())
         # Staleness instrumentation (see _republish_params / _on_assimilated):
         # publish counter for the parameter file, the publish version each
-        # in-flight subtask trained from, and the collected per-update
-        # staleness samples.  Initialized before any publish happens.
+        # in-flight subtask trained from (read off the VersionedParams
+        # payload at download time), and the collected per-update staleness
+        # samples.  Initialized before any publish happens.
         self._param_publish_count = 0
-        self._payload_versions: dict[int, int] = {}
         self._wu_base_version: dict[str, int] = {}
         self.staleness_samples: list[int] = []
+        # Barrier bookkeeping for fault-intolerant rules (see run()).
+        self.barrier_stalls = 0
+        self._barrier_round = 0
+        self._epoch_param_file = PARAM_FILE
+        if resume_from is not None:
+            self.rule.load_state_dict(resume_from.rule_state)
+            self._param_publish_count = resume_from.publish_count
 
         # ---- data ------------------------------------------------------
         data_rng = self.rngs.stream("data")
@@ -152,7 +184,7 @@ class DistributedRunner:
             sim=self.sim,
             num_servers=config.num_param_servers,
             store=self.store,
-            alpha_schedule=config.alpha_schedule,
+            rule=self.rule,
             server_cpu=self.server_cpu,
             evaluate_fn=self._evaluate_vec,
             republish_fn=self._republish_params,
@@ -232,7 +264,12 @@ class DistributedRunner:
         self._current_epoch = 0  # 0-based internally; reported 1-based
         self._epoch_workunits: list[Workunit] = []
         self._epoch_assimilated = 0
-        label = f"{config.label}:{config.alpha_schedule.describe()}"
+        if config.update_rule is None:
+            # Legacy label: default VC-ASGD runs keep the paper's
+            # "PnCnTn:alpha=..." shorthand (result tables/sweeps rely on it).
+            label = f"{config.label}:{config.alpha_schedule.describe()}"
+        else:
+            label = f"{config.label}:{self.rule.describe()}"
         if resume_from is not None:
             self._current_epoch = resume_from.epochs_completed
             self.result = resume_from.seed_result()
@@ -365,15 +402,19 @@ class DistributedRunner:
             self._client_models[client_id] = model
         return model
 
-    def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[np.ndarray, int]:
-        """Train on the shard starting from the downloaded server params."""
+    def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[ClientUpdate, int]:
+        """Train on the shard starting from the downloaded server params.
+
+        Returns a :class:`ClientUpdate` carrying the new parameter copy,
+        the base publish version it trained from and — only when the job's
+        rule consumes gradients — the accumulated local gradient.
+        """
         cfg = self.config.local_training
         client_id = wu.current_attempt.client_id
         model = self._client_model(client_id)
-        param_vec = payloads[wu.input_files[1]]  # the parameter file
-        self._wu_base_version[wu.wu_id] = self._payload_versions.get(
-            id(param_vec), 0
-        )
+        published: VersionedParams = payloads[wu.input_files[1]]  # the parameter file
+        param_vec = published.params
+        self._wu_base_version[wu.wu_id] = published.version
         shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
         model.load_state_dict(vector_to_state(param_vec, self._template_state))
         model.train()
@@ -388,15 +429,30 @@ class DistributedRunner:
         else:
             batch_rng = self.rngs.stream(f"batches:{client_id}")
         loader = BatchLoader(shard, cfg.batch_size, rng=batch_rng)
+        accumulator = (
+            GradientAccumulator(self._template_state)
+            if self.rule.uses_gradient
+            else None
+        )
         for _ in range(cfg.local_epochs):
             for xb, yb in loader:
                 model.zero_grad()
                 loss = cross_entropy(model(Tensor(xb)), yb)
                 loss.backward()
+                if accumulator is not None:
+                    accumulator.add(
+                        {name: p.grad for name, p in model.named_parameters()}
+                    )
                 opt.step()
         new_vec = state_to_vector(model.state_dict())
         new_vec = self._maybe_corrupt(client_id, new_vec)
-        return new_vec, self._param_wire_bytes
+        update = ClientUpdate(
+            client_id=client_id,
+            params=new_vec,
+            gradient=None if accumulator is None else accumulator.total,
+            base_version=published.version,
+        )
+        return update, self._param_wire_bytes
 
     def _maybe_corrupt(self, client_id: str, vec: np.ndarray) -> np.ndarray:
         """Fault injection: designated clients upload perturbed parameters.
@@ -435,11 +491,11 @@ class DistributedRunner:
     def _republish_params(self, vec: np.ndarray) -> None:
         """Expose the merged server copy as the downloadable parameter file."""
         self._param_publish_count += 1
-        self._payload_versions[id(vec)] = self._param_publish_count
+        self.rule.snapshot_sent(self._param_publish_count, vec)
         self.server.catalog.publish(
             ServerFile(
                 name=PARAM_FILE,
-                payload=vec,
+                payload=VersionedParams(vec, self._param_publish_count),
                 raw_size=self._param_raw_bytes,
                 compressed_size=self._param_wire_bytes,
                 sticky=False,
@@ -453,8 +509,11 @@ class DistributedRunner:
 
         for replica in range(self.config.replicas):
             wu_id = replica_id(logical, replica)
-            wu = self.server.scheduler._workunits.get(wu_id)
-            if wu is None or wu.is_terminal or wu.state is WorkunitState.VALIDATING:
+            try:
+                wu = self.server.scheduler.get_workunit(wu_id)
+            except SchedulerError:
+                continue
+            if wu.is_terminal or wu.state is WorkunitState.VALIDATING:
                 continue
             computing_client = self.server.scheduler.cancel_workunit(wu_id)
             if computing_client is not None:
@@ -484,12 +543,14 @@ class DistributedRunner:
             self.server.catalog.publish(
                 ServerFile(
                     name=param_file,
-                    payload=frozen,
+                    payload=VersionedParams(frozen, self._param_publish_count),
                     raw_size=self._param_raw_bytes,
                     compressed_size=self._param_wire_bytes,
                     sticky=False,
                 )
             )
+        self._epoch_param_file = param_file
+        self._barrier_round = 0
         self._epoch_workunits = self.work_generator.make_epoch(
             self._current_epoch, param_file, replicas=self.config.replicas
         )
@@ -505,18 +566,83 @@ class DistributedRunner:
         )
         return self._epoch_assimilated >= done
 
+    def _missing_shard_indices(self) -> list[int]:
+        """Shards whose logical subtask produced no accepted result this
+        epoch (every replica failed permanently)."""
+        covered = {
+            wu.shard_index
+            for wu in self._epoch_workunits
+            if wu.state is WorkunitState.DONE
+        }
+        wanted = {wu.shard_index for wu in self._epoch_workunits}
+        return sorted(wanted - covered)
+
+    def _barrier_blocked(self) -> bool:
+        """Handle an incomplete barrier for a fault-intolerant rule.
+
+        EASGD and BSP AllReduce need *every* shard's update each epoch
+        (§II-B: the schemes the paper's VC-ASGD replaces precisely because
+        volunteers vanish).  When shards failed permanently, reissue
+        replacement workunits (a real BOINC server would keep the epoch
+        open); after ``MAX_BARRIER_RETRIES`` rounds the barrier is declared
+        permanently stalled.  Returns True when the epoch must keep
+        running.
+        """
+        if self.rule.fault_tolerant:
+            return False
+        missing = self._missing_shard_indices()
+        if not missing:
+            return False
+        if self._barrier_round >= MAX_BARRIER_RETRIES:
+            raise TrainingError(
+                f"{self.rule.describe()} barrier stalled: shards {missing} "
+                f"of epoch {self._current_epoch + 1} failed permanently "
+                f"after {self._barrier_round} reissue rounds; "
+                "fault-intolerant rules need an update from every subtask"
+            )
+        self._barrier_round += 1
+        self.barrier_stalls += 1
+        retries = self.work_generator.make_retries(
+            self._current_epoch,
+            self._epoch_param_file,
+            missing,
+            round_index=self._barrier_round,
+            replicas=self.config.replicas,
+        )
+        self._epoch_workunits.extend(retries)
+        self.server.publish_workunits(retries)
+        self.trace.emit(
+            self.sim.now,
+            "epoch.barrier_stall",
+            epoch=self._current_epoch,
+            missing=len(missing),
+            round=self._barrier_round,
+        )
+        return True
+
     def _record_epoch(self) -> EpochRecord:
         epoch = self._current_epoch
         succeeded = [
             wu for wu in self._epoch_workunits if wu.state is WorkunitState.DONE
         ]
         if not succeeded:
+            rejected = self.server.validator.rejected
+            hint = (
+                f"{rejected} result(s) failed validation — the update rule "
+                "may have diverged (try a smaller server_lr)"
+                if rejected
+                else "check fault configuration"
+            )
             raise TrainingError(
-                f"epoch {epoch + 1}: every subtask failed permanently; "
-                "check fault configuration"
+                f"epoch {epoch + 1}: every subtask failed permanently; {hint}"
             )
         mean, lo, hi = self.pool.epoch_accuracy_summary(epoch)
         current = self.pool.current_params()
+        # Prune staleness tags for terminal workunits that never assimilated
+        # (errored, cancelled replicas): without this the map grows for the
+        # whole run.
+        for wu in self._epoch_workunits:
+            self._wu_base_version.pop(wu.wu_id, None)
         record = EpochRecord(
             epoch=epoch + 1,
             end_time_s=self.sim.now + self._time_offset,
@@ -548,6 +674,8 @@ class DistributedRunner:
                     f"in_progress={self.server.scheduler.in_progress_count()})"
                 )
             if not self._epoch_complete():
+                continue
+            if self._barrier_blocked():
                 continue
             record = self._record_epoch()
             self.result.append(record)
@@ -583,6 +711,8 @@ class DistributedRunner:
             "cache_misses": sum(c.cache.misses for c in self.server.clients.values()),
             "volunteers_joined": self._volunteers_joined,
         }
+        if not self.rule.fault_tolerant:
+            self.result.counters["barrier_stalls"] = self.barrier_stalls
         if self.staleness_samples:
             samples = np.asarray(self.staleness_samples)
             self.result.counters["mean_staleness_x100"] = int(
@@ -608,8 +738,18 @@ class DistributedRunner:
 
 
     def checkpoint(self) -> Checkpoint:
-        """Snapshot the job for later resumption (server-failure recovery)."""
-        return Checkpoint.from_result(self.result, self.pool.current_params())
+        """Snapshot the job for later resumption (server-failure recovery).
+
+        Captures the rule's internal state and the publish counter, so a
+        restarted server resumes with delay compensation / staleness
+        bookkeeping intact rather than silently reset.
+        """
+        return Checkpoint.from_result(
+            self.result,
+            self.pool.current_params(),
+            rule_state=self.rule.state_dict(),
+            publish_count=self._param_publish_count,
+        )
 
 
 def run_experiment(

@@ -28,6 +28,8 @@ __all__ = [
     "vector_to_state",
     "state_num_scalars",
     "state_checksum",
+    "gradients_to_vector",
+    "GradientAccumulator",
     "compressed_size",
 ]
 
@@ -81,6 +83,61 @@ def vector_to_state(
         out[key] = vector[offset : offset + size].reshape(shape).copy()
         offset += size
     return out
+
+
+def gradients_to_vector(
+    named_grads: dict[str, np.ndarray | None], template: dict[str, np.ndarray]
+) -> np.ndarray:
+    """Pack gradients into the flat codec, aligned with ``template``.
+
+    The flat parameter vector covers every ``state_dict`` entry (sorted by
+    key), including non-trainable buffers that never receive a gradient;
+    slots whose key is missing from ``named_grads`` (or maps to None) are
+    zero-filled so the result is position-compatible with
+    :func:`state_to_vector` of the same template.
+    """
+    if not template:
+        raise SerializationError("cannot vectorize against an empty template")
+    parts: list[np.ndarray] = []
+    for key in sorted(template):
+        shape = np.asarray(template[key]).shape
+        size = int(np.prod(shape)) if shape else 1
+        grad = named_grads.get(key)
+        if grad is None:
+            parts.append(np.zeros(size))
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.size != size:
+                raise SerializationError(
+                    f"gradient for {key!r} has {grad.size} scalars, "
+                    f"template expects {size}"
+                )
+            parts.append(grad.ravel())
+    return np.concatenate(parts)
+
+
+class GradientAccumulator:
+    """Running sum of per-step gradients in the flat-vector codec.
+
+    Client-side subtask training applies many optimizer steps; gradient-
+    consuming update rules (Downpour, DC-ASGD, Rescaled ASGD) need the
+    *accumulated* local gradient in the same flat layout as the parameter
+    vector.  ``add`` is called once per backward pass with the model's
+    ``named_parameters`` gradients; ``total`` is the upload payload.
+    """
+
+    def __init__(self, template: dict[str, np.ndarray]) -> None:
+        self.template = template
+        self._total = np.zeros(state_num_scalars(template))
+
+    def add(self, named_grads: dict[str, np.ndarray | None]) -> None:
+        """Accumulate one step's gradients."""
+        self._total += gradients_to_vector(named_grads, self.template)
+
+    @property
+    def total(self) -> np.ndarray:
+        """The accumulated gradient vector so far."""
+        return self._total
 
 
 def state_checksum(state: dict[str, np.ndarray]) -> str:

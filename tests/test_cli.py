@@ -30,6 +30,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--store", "dynamo"])
 
+    def test_rule_default_and_choices(self):
+        args = build_parser().parse_args(["run"])
+        assert args.rule == "vcasgd"
+        args = build_parser().parse_args(["run", "--rule", "dcasgd"])
+        assert args.rule == "dcasgd"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--rule", "hogwild"])
+
+    def test_sweep_rule_flag(self):
+        args = build_parser().parse_args(["sweep", "--rule", "vcasgd,easgd"])
+        assert args.rule == "vcasgd,easgd"
+
+    def test_server_lr_flag(self):
+        args = build_parser().parse_args(["run", "--rule", "dcasgd", "--server-lr", "0.005"])
+        assert args.server_lr == 0.005
+        assert build_parser().parse_args(["run"]).server_lr is None
+
+    def test_server_lr_reaches_gradient_rules_only(self):
+        from repro.cli import _parse_rule
+        from repro.core import VarAlpha
+
+        rule = _parse_rule("dcasgd", VarAlpha(), 0.005)
+        assert rule.server_lr == 0.005
+        assert _parse_rule("vcasgd", VarAlpha(), 0.005) is None
+        assert _parse_rule("easgd", VarAlpha(), 0.005) is not None  # lr ignored
+
 
 class TestCommands:
     def test_cost_command(self, capsys):
@@ -83,6 +109,37 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "2" in out
+
+    def test_run_command_with_rule(self, capsys):
+        code = main(
+            [
+                "run",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "1",
+                "--shards", "6",
+                "--rule", "rescaled",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "val acc" in out and "stopped: max_epochs" in out
+
+    def test_sweep_command_with_rule_axis(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "-p", "1",
+                "-c", "2",
+                "-t", "2",
+                "--epochs", "1",
+                "--shards", "4",
+                "--rule", "vcasgd,downpour",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "update_rule" in out
+        assert "VC-ASGD" in out and "Downpour" in out
 
     def test_single_command(self, capsys):
         assert main(["single", "--epochs", "1"]) == 0
