@@ -1,0 +1,120 @@
+"""Chaos soak: P3C3T4 under a randomized-but-seeded fault plan.
+
+Every fault layer fires in one run — per-transfer failures and stalls,
+timed network partitions, a parameter-server crash with delayed restart,
+and key-value store outage/degraded windows — and the harness asserts
+the §III-D fault-tolerance story end to end:
+
+* no workunit is lost or double-assimilated (exactly-once updates);
+* trace counters are conserved record-for-record;
+* training still converges (within noise of the fault-free run) or
+  raises ``TrainingError`` loudly — never silently corrupts;
+* the same seed + plan reproduces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# The invariant helpers live with the tier-1 soak in tests/chaos/.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from repro.analysis import render_table
+from repro.core import FaultConfig, TrainingJobConfig, run_experiment
+from repro.core.runner import DistributedRunner
+from repro.errors import TrainingError
+
+from _helpers import emit, run_once
+from tests.chaos import assert_chaos_invariants, seeded_plan
+
+SOAK_SEED = 1337
+SOAK_EPOCHS = 8
+# Rough sim-time estimate for window placement (P3C3T4 runs ~670 s/epoch).
+HORIZON_S = 5000.0
+
+
+def soak_config(chaos: bool = True) -> TrainingJobConfig:
+    faults = (
+        FaultConfig(chaos=seeded_plan(SOAK_SEED, HORIZON_S))
+        if chaos
+        else FaultConfig()
+    )
+    return TrainingJobConfig(
+        num_param_servers=3,
+        num_clients=3,
+        max_concurrent_subtasks=4,
+        max_epochs=SOAK_EPOCHS,
+        seed=1234,
+        faults=faults,
+    )
+
+
+def test_chaos_soak_p3c3t4(benchmark):
+    def run():
+        runner = DistributedRunner(soak_config())
+        try:
+            result = runner.run()
+        except TrainingError as err:  # loud failure is acceptable; silence is not
+            return runner, None, repr(err)
+        return runner, result, None
+
+    runner, result, loud_failure = run_once(benchmark, run)
+    if result is None:
+        emit("chaos_soak", f"chaos soak raised loudly: {loud_failure}")
+        return
+
+    # Invariants: nothing lost, nothing double-applied, counters conserved.
+    assert_chaos_invariants(runner)
+
+    # Bit-identical reproducibility: same seed + same plan → same run.
+    repro = run_experiment(soak_config())
+    assert repro.counters == result.counters
+    assert [e.val_accuracy_mean for e in repro.epochs] == [
+        e.val_accuracy_mean for e in result.epochs
+    ]
+    assert [e.end_time_s for e in repro.epochs] == [
+        e.end_time_s for e in result.epochs
+    ]
+
+    # Training survived the chaos: all epochs completed and the final
+    # accuracy lands within noise of the fault-free run on the same seed.
+    clean = run_experiment(soak_config(chaos=False))
+    assert len(result.epochs) == SOAK_EPOCHS
+    chaos_acc = result.epochs[-1].val_accuracy_mean
+    clean_acc = clean.epochs[-1].val_accuracy_mean
+    assert chaos_acc >= clean_acc - 0.10
+
+    counters = result.counters
+    rows = [
+        ["transfer failures", counters["transfer_failures"]],
+        ["transfer retries", counters["transfer_retries"]],
+        ["transfers abandoned", counters["transfers_abandoned"]],
+        ["partition blocks", counters["net_partition_blocks"]],
+        ["PS crashes / recoveries", f"{counters['ps_crashes']} / {counters['ps_recoveries']}"],
+        ["PS adoptions", counters["ps_adoptions"]],
+        ["KV outage blocks", counters["kv_outage_blocks"]],
+        ["KV degraded ops", counters["kv_degraded_ops"]],
+        ["scheduler timeouts", counters["timeouts"]],
+        ["assimilations", counters["assimilations"]],
+        ["final val acc (chaos)", f"{chaos_acc:.3f}"],
+        ["final val acc (clean)", f"{clean_acc:.3f}"],
+        [
+            "chaos slowdown",
+            f"{result.epochs[-1].end_time_s / clean.epochs[-1].end_time_s:.2f}x",
+        ],
+    ]
+    emit(
+        "chaos_soak",
+        render_table(
+            ["fault layer", "value"],
+            rows,
+            title=f"Chaos soak: P3C3T4, seed {SOAK_SEED}, {SOAK_EPOCHS} epochs",
+        ),
+    )
+
+    # Every marquee layer actually fired under this seeded plan.
+    assert counters["transfer_failures"] > 0
+    assert counters["transfer_retries"] > 0
+    assert counters["ps_crashes"] == 1
+    assert counters["ps_recoveries"] == 1

@@ -14,6 +14,13 @@ sticky-file cache.  Its life is a loop:
 Preemption (:meth:`ClientDaemon.terminate`) kills the machine mid-flight;
 recovery is entirely the scheduler's timeout/reissue machinery — the
 client does not (and on a reclaimed cloud instance, cannot) clean up.
+
+**Persistent transfers** (BOINC middleware behaviour, Anderson 2018): a
+failed or stalled download/upload is retried with capped exponential
+backoff plus deterministic jitter, up to a retry budget.  The scheduler's
+deadline machinery is *not* suspended during retries, so a permanently
+partitioned client times out honestly and its workunit is reissued
+elsewhere; the client's own retry loop notices the abort and stops.
 """
 
 from __future__ import annotations
@@ -36,6 +43,13 @@ __all__ = ["TaskExecutor", "ClientDaemon"]
 # The application hook: given the workunit and its downloaded input
 # payloads, run the actual training and return (result_payload, nbytes).
 TaskExecutor = Callable[[Workunit, dict[str, object]], tuple[object, int]]
+
+# Persistent-transfer policy (BOINC's project backoff is minutes-scale;
+# ours is compressed to match the 5-minute subtask deadline so a transient
+# fault retries several times before the scheduler reclaims the unit).
+TRANSFER_RETRY_BASE_S = 5.0
+TRANSFER_RETRY_CAP_S = 300.0
+MAX_TRANSFER_RETRIES = 10
 
 
 class ClientDaemon:
@@ -75,6 +89,8 @@ class ClientDaemon:
         self._heartbeats: dict[str, object] = {}  # wu_id -> pending heartbeat event
         self.subtasks_completed = 0
         self.subtasks_aborted = 0
+        self.transfer_retries = 0
+        self.transfers_abandoned = 0
         scheduler.register_client(client_id)
 
     # -- work acquisition ---------------------------------------------------
@@ -118,14 +134,64 @@ class ClientDaemon:
         self._backoff_retry = None
         self.poll_for_work()
 
-    def _start_download(self, wu: Workunit) -> None:
+    # -- persistent transfers (download side) -------------------------------
+    def _transfer_backoff(self, retry: int) -> float:
+        """Capped exponential backoff with deterministic jitter."""
+        delay = min(TRANSFER_RETRY_BASE_S * 2.0**retry, TRANSFER_RETRY_CAP_S)
+        if self.rng is not None:
+            delay *= 1.0 + 0.25 * float(self.rng.random())
+        return delay
+
+    def _start_download(self, wu: Workunit, retry: int = 0) -> None:
         def on_downloaded(payloads: dict[str, object]) -> None:
             if not self.alive or wu.wu_id not in self._in_flight:
                 return  # preempted or aborted while downloading
             self._start_compute(wu, payloads)
 
+        def on_error(error) -> None:
+            if not self.alive or wu.wu_id not in self._in_flight:
+                return  # deadline fired (or preemption) during the transfer
+            if retry >= MAX_TRANSFER_RETRIES:
+                # Give up: free the slot; the scheduler deadline reclaims
+                # and reissues the unit — the client never fakes a result.
+                self.transfers_abandoned += 1
+                self._in_flight.pop(wu.wu_id, None)
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now,
+                        "net.gave_up",
+                        client=self.client_id,
+                        wu=wu.wu_id,
+                        phase="download",
+                    )
+                return
+            delay = self._transfer_backoff(retry)
+            self.transfer_retries += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "net.retry",
+                    client=self.client_id,
+                    wu=wu.wu_id,
+                    phase="download",
+                    attempt=retry + 1,
+                    reason=error.reason,
+                    backoff_s=delay,
+                )
+            self.sim.schedule(
+                delay,
+                lambda: self._start_download(wu, retry + 1),
+                label=f"{self.client_id}:dl-retry",
+            )
+
         self.web.download(
-            list(wu.input_files), self.link, self.cache, on_downloaded, self.rng
+            list(wu.input_files),
+            self.link,
+            self.cache,
+            on_downloaded,
+            self.rng,
+            on_error=on_error,
+            client_id=self.client_id,
         )
 
     def _start_compute(self, wu: Workunit, payloads: dict[str, object]) -> None:
@@ -162,7 +228,9 @@ class ClientDaemon:
         if handle is not None:
             handle.cancel()
 
-    def _start_upload(self, wu: Workunit, result: object, nbytes: int) -> None:
+    def _start_upload(
+        self, wu: Workunit, result: object, nbytes: int, retry: int = 0
+    ) -> None:
         def on_uploaded() -> None:
             if self.trace is not None:
                 self.trace.emit(
@@ -174,7 +242,51 @@ class ClientDaemon:
                 self._on_result_accepted(wu, result)
             self.poll_for_work()
 
-        self.web.upload(nbytes, self.link, on_uploaded, self.rng)
+        def on_error(error) -> None:
+            # The compute slot is already free (result computed); the client
+            # keeps the result file and retries the upload — a late success
+            # is discarded server-side if the unit was reissued meanwhile.
+            if not self.alive:
+                return
+            if retry >= MAX_TRANSFER_RETRIES:
+                self.transfers_abandoned += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now,
+                        "net.gave_up",
+                        client=self.client_id,
+                        wu=wu.wu_id,
+                        phase="upload",
+                    )
+                self.poll_for_work()
+                return
+            delay = self._transfer_backoff(retry)
+            self.transfer_retries += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "net.retry",
+                    client=self.client_id,
+                    wu=wu.wu_id,
+                    phase="upload",
+                    attempt=retry + 1,
+                    reason=error.reason,
+                    backoff_s=delay,
+                )
+            self.sim.schedule(
+                delay,
+                lambda: self._start_upload(wu, result, nbytes, retry + 1),
+                label=f"{self.client_id}:ul-retry",
+            )
+
+        self.web.upload(
+            nbytes,
+            self.link,
+            on_uploaded,
+            self.rng,
+            on_error=on_error,
+            client_id=self.client_id,
+        )
 
     # Server wiring: BoincServer overrides this to route into validation.
     _on_result_accepted: Callable[[Workunit, object], None] = lambda self, wu, r: None

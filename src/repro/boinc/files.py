@@ -17,11 +17,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError, SchedulerError
+from ..simulation.chaos import PartitionSchedule, TransferFaultPlan
 from ..simulation.engine import Simulator
 from ..simulation.network import NetworkLink
 from ..simulation.tracing import Trace
 
-__all__ = ["ServerFile", "FileCatalog", "StickyCache", "WebServer"]
+__all__ = ["ServerFile", "FileCatalog", "StickyCache", "WebServer", "TransferError"]
+
+
+@dataclass(frozen=True)
+class TransferError:
+    """Why a simulated transfer failed (handed to ``on_error`` callbacks)."""
+
+    reason: str  # "failure" | "stall" | "partition"
+    files: tuple[str, ...] = ()
 
 
 @dataclass
@@ -128,7 +137,14 @@ class WebServer:
 
     Download/upload durations come from the client's
     :class:`~repro.simulation.network.NetworkLink`; completion is signalled
-    via callback on the shared simulator.
+    via callback on the shared simulator — the *only* way to obtain a
+    payload on the simulated path (use :meth:`peek_payloads` in tests).
+
+    The chaos fabric hooks in here: ``faults`` injects per-transfer
+    failures/stalls and ``partitions`` cuts clients off for timed windows.
+    A failed transfer fires ``on_error(TransferError)`` instead of
+    ``on_done``; callers without an ``on_error`` (legacy/setup paths) are
+    never subjected to injected faults.
     """
 
     def __init__(
@@ -137,13 +153,57 @@ class WebServer:
         catalog: FileCatalog,
         compression_enabled: bool = True,
         trace: Trace | None = None,
+        faults: TransferFaultPlan | None = None,
+        partitions: PartitionSchedule | None = None,
     ) -> None:
         self.sim = sim
         self.catalog = catalog
         self.compression_enabled = compression_enabled
         self.trace = trace
+        self.faults = faults if faults is not None else TransferFaultPlan()
+        self.partitions = partitions if partitions is not None else PartitionSchedule()
         self.bytes_down = 0
         self.bytes_up = 0
+        self.bytes_wasted = 0  # partial transfers that failed mid-flight
+        self.transfers_failed = 0
+
+    # -- fault model -------------------------------------------------------
+    def _fault_delay(
+        self,
+        nominal_s: float,
+        link: NetworkLink,
+        client_id: str,
+        rng: np.random.Generator | None,
+    ) -> tuple[str | None, float]:
+        """(failure reason or None, seconds until completion/detection)."""
+        window = self.partitions.blocking(client_id, self.sim.now)
+        if window is not None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "net.partition",
+                    client=client_id,
+                    until=window.end_s,
+                )
+            return "partition", link.handshake_time()
+        if self.faults.active and rng is not None:
+            draw = float(rng.random())
+            if draw < self.faults.failure_p:
+                # The connection drops partway through: the client learns
+                # after a deterministic fraction of the nominal time.
+                return "failure", nominal_s * float(rng.uniform(0.05, 0.95))
+            if draw < self.faults.failure_p + self.faults.stall_p:
+                return "stall", self.faults.stall_timeout_s
+        return None, nominal_s
+
+    def _resolve(self, names: list[str]) -> dict[str, object]:
+        return {name: self.catalog.get(name).payload for name in names}
+
+    def peek_payloads(self, names: list[str]) -> dict[str, object]:
+        """Test-only accessor: catalogue payloads with **no** simulated
+        transfer, no caching side effects, and no fault injection.  The
+        simulation-correct path is :meth:`download`'s callback."""
+        return self._resolve(names)
 
     def download(
         self,
@@ -152,36 +212,67 @@ class WebServer:
         cache: StickyCache | None,
         on_done,
         rng: np.random.Generator | None = None,
-    ) -> dict[str, object]:
+        on_error=None,
+        client_id: str = "",
+    ) -> None:
         """Fetch ``names`` for a client; fire ``on_done(payloads)`` when done.
 
         Cached sticky files cost nothing; the rest are transferred
-        back-to-back over the link.  Returns the payload dict immediately
-        for callers that only need the data (tests), but the callback is
-        the simulation-correct signal.
+        back-to-back over the link.  On an injected fault the transfer
+        charges nothing to the cache, wastes the partial bytes, and fires
+        ``on_error(TransferError)`` after the detection delay (when
+        ``on_error`` is None the transfer is exempt from fault injection —
+        setup paths must not silently lose files).
         """
         total_time = 0.0
-        payloads: dict[str, object] = {}
+        total_wire = 0
+        cache_hits: list[str] = []
+        cache_misses: list[tuple[str, int, bool]] = []  # name, wire, sticky
         for name in names:
             file = self.catalog.get(name)
-            payloads[name] = file.payload
             if cache is not None and file.sticky and cache.has(name):
-                cache.touch(name)
-                cache.hits += 1
+                cache_hits.append(name)
                 continue
             wire = file.wire_size(self.compression_enabled)
             total_time += link.transfer_time(wire, rng, now=self.sim.now)
-            self.bytes_down += wire
+            total_wire += wire
             if cache is not None:
-                cache.misses += 1
-                if file.sticky:
-                    cache.add(name, wire)
+                cache_misses.append((name, wire, file.sticky))
+        reason = None
+        if on_error is not None:
+            reason, total_time = self._fault_delay(total_time, link, client_id, rng)
+        if reason is not None:
+            self.transfers_failed += 1
+            self.bytes_wasted += total_wire
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "web.xfer_fail",
+                    direction="down",
+                    reason=reason,
+                    client=client_id,
+                    files=list(names),
+                )
+            error = TransferError(reason=reason, files=tuple(names))
+            self.sim.schedule(
+                total_time, lambda: on_error(error), label="web:download-fail"
+            )
+            return
+        # Cache bookkeeping only on transfers that actually complete.
+        for name in cache_hits:
+            cache.touch(name)
+            cache.hits += 1
+        for name, wire, sticky in cache_misses:
+            cache.misses += 1
+            if sticky:
+                cache.add(name, wire)
+        self.bytes_down += total_wire
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now, "web.download", files=list(names), seconds=total_time
             )
+        payloads = self._resolve(names)
         self.sim.schedule(total_time, lambda: on_done(payloads), label="web:download")
-        return payloads
 
     def upload(
         self,
@@ -189,9 +280,29 @@ class WebServer:
         link: NetworkLink,
         on_done,
         rng: np.random.Generator | None = None,
+        on_error=None,
+        client_id: str = "",
     ) -> None:
         """Client → server transfer of a result file of ``nbytes``."""
         seconds = link.transfer_time(nbytes, rng, now=self.sim.now)
+        reason = None
+        if on_error is not None:
+            reason, seconds = self._fault_delay(seconds, link, client_id, rng)
+        if reason is not None:
+            self.transfers_failed += 1
+            self.bytes_wasted += nbytes
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "web.xfer_fail",
+                    direction="up",
+                    reason=reason,
+                    client=client_id,
+                    nbytes=nbytes,
+                )
+            error = TransferError(reason=reason)
+            self.sim.schedule(seconds, lambda: on_error(error), label="web:upload-fail")
+            return
         self.bytes_up += nbytes
         if self.trace is not None:
             self.trace.emit(self.sim.now, "web.upload", nbytes=nbytes, seconds=seconds)

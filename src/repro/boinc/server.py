@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..simulation.chaos import PartitionSchedule, TransferFaultPlan
 from ..simulation.engine import Simulator
 from ..simulation.tracing import Trace
 from .assimilator import Assimilator
@@ -34,11 +35,20 @@ class BoincServer:
         compression_enabled: bool = True,
         credit_ledger: CreditLedger | None = None,
         trace: Trace | None = None,
+        transfer_faults: TransferFaultPlan | None = None,
+        partitions: PartitionSchedule | None = None,
     ) -> None:
         self.sim = sim
         self.trace = trace if trace is not None else Trace()
         self.catalog = FileCatalog()
-        self.web = WebServer(sim, self.catalog, compression_enabled, trace=self.trace)
+        self.web = WebServer(
+            sim,
+            self.catalog,
+            compression_enabled,
+            trace=self.trace,
+            faults=transfer_faults,
+            partitions=partitions,
+        )
         self.scheduler = Scheduler(sim, scheduler_config, trace=self.trace)
         self.validator = validator
         self.assimilator = assimilator

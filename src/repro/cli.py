@@ -39,8 +39,108 @@ from .core.baselines import run_single_instance
 from .core.checkpoint import load_checkpoint, save_checkpoint
 from .core.runner import DistributedRunner
 from .simulation import BernoulliSubtaskModel
+from .simulation.chaos import (
+    ChaosPlan,
+    PartitionWindow,
+    ServerCrash,
+    StoreFaultWindow,
+    TransferFaultPlan,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-model flags shared by ``run`` and ``sweep``."""
+    fleet = parser.add_argument_group("fleet faults")
+    fleet.add_argument(
+        "--preempt-p", type=float, default=0.0, help="hourly interruption probability"
+    )
+    fleet.add_argument(
+        "--corrupt-clients",
+        type=int,
+        default=0,
+        metavar="N",
+        help="first N clients upload subtly corrupted parameters",
+    )
+    fleet.add_argument(
+        "--corruption-scale",
+        type=float,
+        default=1.0,
+        help="relative magnitude of the corruption noise",
+    )
+    fleet.add_argument(
+        "--churn-per-hour",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="Poisson arrival rate of extra volunteer hosts",
+    )
+    fleet.add_argument(
+        "--max-volunteers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cap on extra volunteer hosts (0 = no volunteers)",
+    )
+    chaos = parser.add_argument_group("chaos plan (layered fault injection)")
+    chaos.add_argument(
+        "--xfer-fail-p",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-transfer abort probability (persistent-transfer retries kick in)",
+    )
+    chaos.add_argument(
+        "--xfer-stall-p",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-transfer stall probability",
+    )
+    chaos.add_argument(
+        "--xfer-stall-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="time a client waits before detecting a stalled transfer",
+    )
+    chaos.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="START:DUR[:CLIENTS]",
+        help="network partition window (seconds; CLIENTS is a comma list of "
+        "client ids, omitted = whole fleet); repeatable",
+    )
+    chaos.add_argument(
+        "--ps-crash",
+        action="append",
+        default=[],
+        metavar="TIME[:RESTART_DELAY]",
+        help="parameter-server crash at TIME s, replacement after "
+        "RESTART_DELAY s ('never' = permanent loss); repeatable",
+    )
+    chaos.add_argument(
+        "--kv-outage",
+        action="append",
+        default=[],
+        metavar="START:DUR",
+        help="KV-store hard outage window (ops block until it lifts); repeatable",
+    )
+    chaos.add_argument(
+        "--kv-degrade",
+        action="append",
+        default=[],
+        metavar="START:DUR:FACTOR",
+        help="KV-store degraded-latency window (ops slowed by FACTOR); repeatable",
+    )
+    chaos.add_argument(
+        "--no-chaos-restore",
+        action="store_true",
+        help="do not restore from the epoch checkpoint after a total "
+        "parameter-server outage",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,9 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--target", type=float, default=None, help="stop accuracy")
     run_p.add_argument("--store", choices=["eventual", "strong"], default="eventual")
-    run_p.add_argument(
-        "--preempt-p", type=float, default=0.0, help="hourly interruption probability"
-    )
+    _add_fault_args(run_p)
     run_p.add_argument("--replicas", type=int, default=1)
     run_p.add_argument("--quorum", type=int, default=None)
     run_p.add_argument("--autoscale", action="store_true")
@@ -127,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="server step size for gradient rules (downpour/dcasgd/rescaled)",
     )
     sweep_p.add_argument("--seed", type=int, default=1234)
+    _add_fault_args(sweep_p)
 
     alpha_p = sub.add_parser("alpha-study", help="quick alpha sweep")
     alpha_p.add_argument("--servers", "-p", type=int, default=3)
@@ -143,6 +242,63 @@ def _parse_alpha(text: str):
     if text.lower() == "var":
         return VarAlpha()
     return ConstantAlpha(float(text))
+
+
+def _split_fields(text: str, spec: str, min_fields: int, max_fields: int) -> list[str]:
+    fields = text.split(":")
+    if not min_fields <= len(fields) <= max_fields:
+        raise SystemExit(f"expected {spec}, got {text!r}")
+    return fields
+
+
+def _parse_partition(text: str) -> PartitionWindow:
+    fields = _split_fields(text, "START:DUR[:CLIENTS]", 2, 3)
+    clients: tuple[str, ...] = ()
+    if len(fields) == 3 and fields[2]:
+        clients = tuple(c.strip() for c in fields[2].split(",") if c.strip())
+    return PartitionWindow(float(fields[0]), float(fields[1]), clients)
+
+
+def _parse_ps_crash(text: str) -> ServerCrash:
+    fields = _split_fields(text, "TIME[:RESTART_DELAY]", 1, 2)
+    delay: float | None = 120.0
+    if len(fields) == 2:
+        delay = None if fields[1].lower() == "never" else float(fields[1])
+    return ServerCrash(float(fields[0]), delay)
+
+
+def _parse_kv_outage(text: str) -> StoreFaultWindow:
+    fields = _split_fields(text, "START:DUR", 2, 2)
+    return StoreFaultWindow(float(fields[0]), float(fields[1]))
+
+
+def _parse_kv_degrade(text: str) -> StoreFaultWindow:
+    fields = _split_fields(text, "START:DUR:FACTOR", 3, 3)
+    return StoreFaultWindow(float(fields[0]), float(fields[1]), float(fields[2]))
+
+
+def _parse_faults(args: argparse.Namespace) -> FaultConfig:
+    """Build the FaultConfig (including any chaos plan) from CLI flags."""
+    plan = ChaosPlan(
+        transfer=TransferFaultPlan(
+            failure_p=args.xfer_fail_p,
+            stall_p=args.xfer_stall_p,
+            stall_timeout_s=args.xfer_stall_timeout,
+        ),
+        partitions=tuple(_parse_partition(p) for p in args.partition),
+        ps_crashes=tuple(_parse_ps_crash(c) for c in args.ps_crash),
+        kv_windows=tuple(_parse_kv_outage(w) for w in args.kv_outage)
+        + tuple(_parse_kv_degrade(w) for w in args.kv_degrade),
+        restore_from_checkpoint=not args.no_chaos_restore,
+    )
+    return FaultConfig(
+        preemption_hourly_p=args.preempt_p,
+        corrupt_clients=args.corrupt_clients,
+        corruption_scale=args.corruption_scale,
+        volunteer_arrivals_per_hour=args.churn_per_hour,
+        max_volunteers=args.max_volunteers,
+        chaos=plan if plan.active else None,
+    )
 
 
 _GRADIENT_RULES = {"downpour", "dcasgd", "rescaled"}
@@ -190,7 +346,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         quorum=args.quorum if args.quorum is not None else min(2, args.replicas),
         ps_autoscale=args.autoscale,
         warm_start_passes=args.warm_start,
-        faults=FaultConfig(preemption_hourly_p=args.preempt_p),
+        faults=_parse_faults(args),
         seed=args.seed,
     )
     resume = load_checkpoint(args.resume) if args.resume else None
@@ -296,6 +452,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if len(rule_tokens) == 1
             else None
         ),
+        faults=_parse_faults(args),
         seed=args.seed,
     )
     sweep = Sweep(base)

@@ -13,22 +13,40 @@ delay-compensation backups, sync-round counters — see
 rule exactly where it left off.
 
 Checkpoints serialize to a single ``.npz`` file (the same codec the
-parameter files use).
+parameter files use) wrapped in an integrity envelope, and the file
+write is **crash-consistent**: the blob carries a format version and a
+BLAKE2 digest that is verified on load (torn or bit-flipped files raise
+:class:`~repro.errors.CheckpointError` instead of half-loading), and
+:func:`save_checkpoint` writes to a temp file and atomically renames it
+so a crash mid-write can never destroy the previous good checkpoint.
+Envelope-less blobs from older versions still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import SerializationError, TrainingError
+from ..errors import CheckpointError, SerializationError, TrainingError
 from .results import EpochRecord, RunResult
 
 __all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint"]
+
+# Integrity envelope: MAGIC + 1-byte format version + 16-byte BLAKE2b
+# digest of the payload, then the npz payload itself.
+_MAGIC = b"RPROCKPT"
+_FORMAT_VERSION = 1
+_DIGEST_SIZE = 16
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
 
 _RECORD_FIELDS = (
     "epoch",
@@ -93,7 +111,12 @@ class Checkpoint:
 
     # -- serialization --------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize to a compressed ``.npz`` byte blob."""
+        """Serialize to a digest-protected compressed ``.npz`` byte blob."""
+        payload = self._payload_bytes()
+        header = _MAGIC + bytes([_FORMAT_VERSION]) + _digest(payload)
+        return header + payload
+
+    def _payload_bytes(self) -> bytes:
         meta = {
             "epochs_completed": self.epochs_completed,
             "elapsed_s": self.elapsed_s,
@@ -120,7 +143,33 @@ class Checkpoint:
 
     @staticmethod
     def from_bytes(blob: bytes) -> "Checkpoint":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes`; verifies the integrity envelope.
+
+        Enveloped blobs are digest-checked before any field is decoded, so
+        a torn write or bit flip raises :class:`CheckpointError` rather
+        than yielding a half-loaded checkpoint.  Blobs without the magic
+        header are treated as legacy raw ``.npz`` checkpoints.
+        """
+        if blob.startswith(_MAGIC):
+            header_len = len(_MAGIC) + 1 + _DIGEST_SIZE
+            if len(blob) < header_len:
+                raise CheckpointError(
+                    "checkpoint truncated inside its integrity header"
+                )
+            version = blob[len(_MAGIC)]
+            if version != _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint format version {version} "
+                    f"(this build reads version {_FORMAT_VERSION})"
+                )
+            stored = blob[len(_MAGIC) + 1 : header_len]
+            payload = blob[header_len:]
+            if _digest(payload) != stored:
+                raise CheckpointError(
+                    "checkpoint digest mismatch: file is corrupt or was "
+                    "torn mid-write; refusing to load it"
+                )
+            blob = payload
         try:
             with np.load(io.BytesIO(blob)) as archive:
                 meta = json.loads(archive["meta"].tobytes().decode())
@@ -165,10 +214,18 @@ class Checkpoint:
 
 
 def save_checkpoint(path: str | pathlib.Path, checkpoint: Checkpoint) -> None:
-    """Write a checkpoint file."""
-    pathlib.Path(path).write_bytes(checkpoint.to_bytes())
+    """Atomically write a checkpoint file.
+
+    The blob lands in a sibling temp file first and is renamed into place
+    (``os.replace``), so a crash mid-write leaves either the old good file
+    or the new one — never a torn hybrid.
+    """
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(checkpoint.to_bytes())
+    os.replace(tmp, target)
 
 
 def load_checkpoint(path: str | pathlib.Path) -> Checkpoint:
-    """Read a checkpoint file."""
+    """Read and verify a checkpoint file."""
     return Checkpoint.from_bytes(pathlib.Path(path).read_bytes())

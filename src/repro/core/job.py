@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from ..data.synthetic import SyntheticImageConfig
 from ..errors import ConfigurationError
 from ..nn.models import ModelSpec
+from ..simulation.chaos import ChaosPlan
 from ..simulation.resources import TABLE1_CLIENTS, TABLE1_SERVER, InstanceSpec
 from .rules import UpdateRule, VCASGDRule
 from .vcasgd import AlphaSchedule, ConstantAlpha
@@ -69,6 +70,11 @@ class FaultConfig:
     # the fleet cannot grow without bound.
     volunteer_arrivals_per_hour: float = 0.0
     max_volunteers: int = 0
+    # Layered chaos plan (see repro.simulation.chaos): per-transfer
+    # failures/stalls, timed network partitions, parameter-server
+    # crash/restart schedules, and KV-store outage windows.  None (or an
+    # all-empty plan) leaves every layer healthy.
+    chaos: ChaosPlan | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.preemption_hourly_p < 1.0:
@@ -79,6 +85,10 @@ class FaultConfig:
             raise ConfigurationError("invalid corruption parameters")
         if self.volunteer_arrivals_per_hour < 0 or self.max_volunteers < 0:
             raise ConfigurationError("invalid volunteer churn parameters")
+        if self.chaos is not None and not isinstance(self.chaos, ChaosPlan):
+            raise ConfigurationError(
+                f"chaos must be a ChaosPlan or None, got {type(self.chaos).__name__}"
+            )
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..boinc.workunit import Workunit
 from ..errors import ConfigurationError, TrainingError
-from ..kvstore.base import KVStore
+from ..kvstore.base import TXN_ABORT, KVStore
 from ..simulation.engine import Simulator
 from ..simulation.resources import ComputeResource
 from ..simulation.tracing import Trace
@@ -39,6 +39,38 @@ from .vcasgd import AlphaSchedule
 __all__ = ["AssimilationStats", "ParameterServerPool", "PARAM_KEY"]
 
 PARAM_KEY = "server-params"
+
+
+class _Inflight:
+    """One result mid-assimilation: the unit of crash/failover bookkeeping.
+
+    ``committed`` flips when the store merge durably applied; ``cancelled``
+    stops the remaining pipeline callbacks; ``merged_vec`` holds the
+    committed vector so a restarting sole server can resume validation.
+    """
+
+    __slots__ = (
+        "wu",
+        "update",
+        "on_done",
+        "enqueued_at",
+        "started_at",
+        "committed",
+        "cancelled",
+        "adopted",
+        "merged_vec",
+    )
+
+    def __init__(self, wu, update, on_done, enqueued_at: float) -> None:
+        self.wu = wu
+        self.update = update
+        self.on_done = on_done
+        self.enqueued_at = enqueued_at
+        self.started_at = 0.0
+        self.committed = False
+        self.cancelled = False
+        self.adopted = False
+        self.merged_vec = None
 
 
 @dataclass
@@ -102,8 +134,19 @@ class ParameterServerPool:
         self.validation_work_units = validation_work_units
         self.param_nbytes = param_nbytes
         self.trace = trace
-        self._queue: deque[tuple[Workunit, ClientUpdate, Callable[[], None], float]] = deque()
+        self._queue: deque[_Inflight] = deque()
         self._busy_workers = 0
+        self._inflight: list[_Inflight] = []
+        # Committed-but-unvalidated items stranded by a total-pool outage,
+        # resumed when a server restarts (see crash_server / restart_server).
+        self._stranded: list[_Inflight] = []
+        self.crashes = 0
+        self.recoveries = 0
+        self.adoptions = 0
+        # Invoked (with the pool) after a restart returns the pool from
+        # zero live servers; the runner uses it to restore the server
+        # parameter copy from the latest epoch checkpoint.
+        self.on_total_outage_restart: Callable[[], None] | None = None
         self.stats = AssimilationStats()
         # epoch -> list of per-assimilation validation accuracies
         self.epoch_accuracies: dict[int, list[float]] = {}
@@ -129,7 +172,7 @@ class ParameterServerPool:
                 f"assimilator expected a ClientUpdate or parameter vector, "
                 f"got {type(payload).__name__}"
             )
-        self._queue.append((workunit, update, on_done, self.sim.now))
+        self._queue.append(_Inflight(workunit, update, on_done, self.sim.now))
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
         self._dispatch()
 
@@ -147,57 +190,182 @@ class ParameterServerPool:
         while self._busy_workers < self.num_servers and self._queue:
             item = self._queue.popleft()
             self._busy_workers += 1
-            self._process(*item)
+            self._inflight.append(item)
+            self._process(item)
 
-    def _process(
-        self,
-        wu: Workunit,
-        update: ClientUpdate,
-        on_done: Callable[[], None],
-        enqueued_at: float,
-    ) -> None:
-        start = self.sim.now
-        self.stats.total_queue_wait += start - enqueued_at
+    def _process(self, item: _Inflight) -> None:
+        item.started_at = self.sim.now
+        self.stats.total_queue_wait += item.started_at - item.enqueued_at
+        wu, update = item.wu, item.update
 
-        def merge(old_vec: np.ndarray) -> np.ndarray:
+        def merge(old_vec: np.ndarray):
+            if item.cancelled:
+                # The worker crashed before the commit fired: abort the
+                # transaction so the update is applied exactly once, by
+                # whichever server re-runs the requeued item.
+                return TXN_ABORT
             # Out of place: with the eventual store, ``old_vec`` may be a
             # snapshot other in-flight transactions still reference.
             # Paper epochs are 1-based.
+            item.committed = True
             return self.rule.apply(old_vec, update, wu.epoch + 1)
 
         def after_store(new_vec: np.ndarray) -> None:
-            # Validation pass: the real accuracy is computed now; the time
-            # it takes is charged to the shared server CPU.
-            self.server_cpu.submit(
-                self.validation_work_units,
-                lambda: after_validation(new_vec),
-                label=f"validate:{wu.wu_id}",
-            )
-
-        def after_validation(new_vec: np.ndarray) -> None:
-            _, accuracy = self.evaluate_fn(new_vec)
-            self.epoch_accuracies.setdefault(wu.epoch, []).append(accuracy)
-            if self.republish_fn is not None:
-                self.republish_fn(new_vec)
-            self.stats.processed += 1
-            self.stats.total_service_time += self.sim.now - start
-            if self.trace is not None:
-                self.trace.emit(
-                    self.sim.now,
-                    "ps.assimilated",
-                    wu=wu.wu_id,
-                    epoch=wu.epoch,
-                    rule=self.rule.describe(),
-                    accuracy=accuracy,
-                    queue_wait=start - enqueued_at,
-                )
-            self._busy_workers -= 1
-            on_done()
-            self._dispatch()
+            item.merged_vec = new_vec
+            if item.cancelled:
+                return  # stranded by a total outage; restart resumes it
+            self._start_validation(item)
 
         self.store.read_modify_write(
             PARAM_KEY, merge, on_done=after_store, nbytes=self.param_nbytes
         )
+
+    def _start_validation(self, item: _Inflight) -> None:
+        # Validation pass: the real accuracy is computed now; the time
+        # it takes is charged to the shared server CPU.
+        self.server_cpu.submit(
+            self.validation_work_units,
+            lambda: self._finish(item),
+            label=f"validate:{item.wu.wu_id}",
+        )
+
+    def _finish(self, item: _Inflight) -> None:
+        if item.cancelled:
+            return  # stranded mid-validation by a total outage
+        wu = item.wu
+        _, accuracy = self.evaluate_fn(item.merged_vec)
+        self.epoch_accuracies.setdefault(wu.epoch, []).append(accuracy)
+        if self.republish_fn is not None:
+            self.republish_fn(item.merged_vec)
+        self.stats.processed += 1
+        self.stats.total_service_time += self.sim.now - item.started_at
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "ps.assimilated",
+                wu=wu.wu_id,
+                epoch=wu.epoch,
+                rule=self.rule.describe(),
+                accuracy=accuracy,
+                queue_wait=item.started_at - item.enqueued_at,
+            )
+        if item in self._inflight:
+            self._inflight.remove(item)
+        self._busy_workers -= 1
+        item.on_done()
+        self._dispatch()
+
+    # -- crash / failover (chaos fabric) ---------------------------------------
+    def crash_server(self) -> None:
+        """One parameter server dies right now.
+
+        The crashed worker's in-flight result is never lost and never
+        double-assimilated:
+
+        * merge **not yet committed** — the store transaction aborts and the
+          item requeues at the head, so a surviving (or restarted) server
+          re-runs it from scratch;
+        * merge **committed, survivors exist** — a surviving server adopts
+          the rest of the pipeline (validation/republish) via the shared
+          store (§III-D: servers are replaceable because state lives in the
+          store);
+        * merge **committed, no survivors** — the item is stranded; a
+          restarting server resumes its validation (unless the runner
+          restores from a checkpoint first, which supersedes it).
+        """
+        if self.num_servers <= 0:
+            return
+        self.num_servers -= 1
+        self.crashes += 1
+        victim: _Inflight | None = None
+        for candidate in self._inflight:
+            if not candidate.adopted and not candidate.cancelled:
+                victim = candidate
+                break
+        if victim is None:
+            # An idle worker died: capacity loss only.
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "ps.crash", servers_left=self.num_servers, lost="idle"
+                )
+            return
+        if not victim.committed:
+            victim.cancelled = True
+            self._inflight.remove(victim)
+            self._busy_workers -= 1
+            requeued = _Inflight(
+                victim.wu, victim.update, victim.on_done, victim.enqueued_at
+            )
+            self._queue.appendleft(requeued)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "ps.crash",
+                    servers_left=self.num_servers,
+                    lost="uncommitted",
+                    wu=victim.wu.wu_id,
+                )
+            self._dispatch()
+            return
+        if self.num_servers >= 1:
+            victim.adopted = True
+            self.adoptions += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "ps.crash",
+                    servers_left=self.num_servers,
+                    lost="adopted",
+                    wu=victim.wu.wu_id,
+                )
+            return
+        # Sole server died after the commit: the merge is durable in the
+        # store but validation/accounting never ran.  Strand the item until
+        # a restart (its pending validation callback will no-op).
+        victim.cancelled = True
+        self._stranded.append(victim)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "ps.crash",
+                servers_left=0,
+                lost="stranded",
+                wu=victim.wu.wu_id,
+            )
+
+    def restart_server(self) -> None:
+        """A replacement parameter server comes up.
+
+        Returning from a total outage first lets the runner restore the
+        server copy from its latest epoch checkpoint
+        (``on_total_outage_restart``), then resumes any stranded
+        committed-but-unvalidated items and drains the queue.
+        """
+        from_total_outage = self.num_servers == 0
+        self.num_servers += 1
+        self.recoveries += 1
+        if from_total_outage and self.on_total_outage_restart is not None:
+            self.on_total_outage_restart()
+        resumed = 0
+        for item in self._stranded:
+            item.cancelled = False
+            if item.merged_vec is not None:
+                # Re-validate against the *current* store copy: a checkpoint
+                # restore may have rolled the merge back, in which case the
+                # accounting below reflects the restored state.
+                item.merged_vec = self.store.get_now(PARAM_KEY)
+                self._start_validation(item)
+                resumed += 1
+        self._stranded.clear()
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "ps.recover",
+                servers=self.num_servers,
+                resumed=resumed,
+                total_outage=from_total_outage,
+            )
+        self._dispatch()
 
     # -- epoch-level views ----------------------------------------------------------
     def epoch_accuracy_summary(self, epoch: int) -> tuple[float, float, float]:

@@ -47,6 +47,7 @@ from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
 from ..nn.serialization import GradientAccumulator, state_to_vector, vector_to_state
 from ..nn.tensor import Tensor
+from ..simulation.chaos import ChaosPlan, PartitionSchedule
 from ..simulation.congestion import CongestedLink, CongestionSchedule
 from ..simulation.engine import Simulator
 from ..simulation.preemption import ExponentialLifetime
@@ -55,7 +56,7 @@ from ..simulation.tracing import Trace
 from .autoscale import AutoscalePolicy, AutoscalingPool
 from .checkpoint import Checkpoint
 from .job import TrainingJobConfig
-from .param_server import ParameterServerPool
+from .param_server import PARAM_KEY, ParameterServerPool
 from .results import EpochRecord, RunResult
 from .rules import ClientUpdate
 
@@ -115,6 +116,13 @@ class DistributedRunner:
         self.barrier_stalls = 0
         self._barrier_round = 0
         self._epoch_param_file = PARAM_FILE
+        # Layered chaos plan (transfer faults, partitions, PS crashes, KV
+        # windows).  Kept on the runner so every wiring site below reads
+        # one place; None when the job is healthy.
+        self._chaos: ChaosPlan | None = config.faults.chaos
+        # Latest epoch-boundary checkpoint, the durable state a restarting
+        # sole parameter server recovers from (see _restore_last_checkpoint).
+        self._last_checkpoint: Checkpoint | None = None
         if resume_from is not None:
             self.rule.load_state_dict(resume_from.rule_state)
             self._param_publish_count = resume_from.publish_count
@@ -162,7 +170,9 @@ class DistributedRunner:
             self.store = StrongStore(
                 self.sim, mysql_like_latency(), name="mysql", trace=self.trace
             )
-        self.store.put_now("server-params", initial_vec)
+        self.store.put_now(PARAM_KEY, initial_vec)
+        if self._chaos is not None and self._chaos.kv_windows:
+            self.store.set_fault_windows(self._chaos.kv_windows)
 
         # ---- server-side compute (PS workers share these cores) ----------
         from ..simulation.resources import ComputeResource
@@ -203,6 +213,9 @@ class DistributedRunner:
             )
         else:
             self.pool = ParameterServerPool(**pool_kwargs)
+        self.pool.on_total_outage_restart = self._restore_last_checkpoint
+        if self._chaos is not None:
+            self._schedule_ps_chaos(self._chaos)
 
         # ---- optional replication quorum in front of the pool -------------
         self.quorum: QuorumAssimilator | None = None
@@ -220,6 +233,13 @@ class DistributedRunner:
 
         # ---- BOINC server ----------------------------------------------------
         validator = ParameterValidator(expected_size=self.param_size, trace=self.trace)
+        transfer_faults = None
+        partitions = None
+        if self._chaos is not None:
+            if self._chaos.transfer.active:
+                transfer_faults = self._chaos.transfer
+            if self._chaos.partitions:
+                partitions = PartitionSchedule(self._chaos.partitions)
         self.server = BoincServer(
             sim=self.sim,
             assimilator=assimilator,
@@ -233,6 +253,8 @@ class DistributedRunner:
             ),
             compression_enabled=config.compression_enabled,
             trace=self.trace,
+            transfer_faults=transfer_faults,
+            partitions=partitions,
         )
         self.server.on_assimilated = self._on_assimilated
 
@@ -280,6 +302,10 @@ class DistributedRunner:
                 )
         else:
             self.result = RunResult(label=label)
+        if self._chaos is not None and self._chaos.ps_crashes:
+            # Epoch-0 checkpoint: even a crash before the first epoch
+            # boundary has durable state to recover from.
+            self._last_checkpoint = self.checkpoint()
 
     def _warm_start(self) -> None:
         """Downpour-style warm start (§II-B): serial passes before
@@ -502,6 +528,48 @@ class DistributedRunner:
             )
         )
 
+    def _schedule_ps_chaos(self, plan: ChaosPlan) -> None:
+        """Install the plan's parameter-server crash/restart schedule.
+
+        Crash times are seconds from run start; each crash's restart (when
+        configured) brings up a replacement worker after its delay.
+        """
+        for crash in plan.ps_crashes:
+            self.sim.schedule(
+                crash.at_s, self.pool.crash_server, label="chaos:ps-crash"
+            )
+            if crash.restart_delay_s is not None:
+                self.sim.schedule(
+                    crash.at_s + crash.restart_delay_s,
+                    self.pool.restart_server,
+                    label="chaos:ps-restart",
+                )
+
+    def _restore_last_checkpoint(self) -> None:
+        """Recover the server copy after a total parameter-server outage.
+
+        A restarting sole server has no live peers to adopt from; its
+        durable state is the latest epoch checkpoint (the §III-D database
+        role).  The checkpoint round-trips through its serialized form, so
+        the digest verification of the recovery path is exercised on every
+        restore, then the restored vector is written to the store and
+        republished for download.
+        """
+        if self._chaos is None or not self._chaos.restore_from_checkpoint:
+            return
+        if self._last_checkpoint is None:
+            return
+        restored = Checkpoint.from_bytes(self._last_checkpoint.to_bytes())
+        vec = restored.params.astype(np.float64).copy()
+        self.store.put_now(PARAM_KEY, vec)
+        self.rule.load_state_dict(restored.rule_state)
+        self._republish_params(vec)
+        self.trace.emit(
+            self.sim.now,
+            "ps.restore",
+            epochs_completed=restored.epochs_completed,
+        )
+
     def _cancel_sibling_replicas(self, logical: str) -> None:
         """Quorum reached: abort the outstanding sibling replicas so their
         hosts stop burning cycles (BOINC's redundant-result cancellation)."""
@@ -679,6 +747,8 @@ class DistributedRunner:
                 continue
             record = self._record_epoch()
             self.result.append(record)
+            if self._chaos is not None and self._chaos.ps_crashes:
+                self._last_checkpoint = self.checkpoint()
             reached_target = (
                 config.target_accuracy is not None
                 and record.val_accuracy_mean >= config.target_accuracy
@@ -733,6 +803,24 @@ class DistributedRunner:
                     "quorums_reached": self.quorum.quorums_reached,
                     "replica_disagreements": self.quorum.disagreements,
                     "replicas_discarded": self.quorum.discarded_extras,
+                }
+            )
+        if self._chaos is not None and self._chaos.active:
+            clients = self.server.clients.values()
+            self.result.counters.update(
+                {
+                    "transfer_failures": self.server.web.transfers_failed,
+                    "transfer_retries": sum(c.transfer_retries for c in clients),
+                    "transfers_abandoned": sum(
+                        c.transfers_abandoned for c in clients
+                    ),
+                    "bytes_wasted": self.server.web.bytes_wasted,
+                    "net_partition_blocks": self.trace.count("net.partition"),
+                    "ps_crashes": self.pool.crashes,
+                    "ps_recoveries": self.pool.recoveries,
+                    "ps_adoptions": self.pool.adoptions,
+                    "kv_outage_blocks": self.store.outage_blocked_ops,
+                    "kv_degraded_ops": self.store.degraded_ops,
                 }
             )
 

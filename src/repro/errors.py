@@ -28,6 +28,10 @@ class SerializationError(ReproError):
     """Parameter/model (de)serialization failed."""
 
 
+class CheckpointError(SerializationError):
+    """A checkpoint file is corrupt, truncated, or fails verification."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

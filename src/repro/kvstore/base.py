@@ -17,11 +17,18 @@ from typing import Any, Callable
 import numpy as np
 
 from ..errors import KVStoreError
+from ..simulation.chaos import StoreFaultWindow
 from ..simulation.engine import Simulator
 from ..simulation.tracing import Trace
 from .latency import StoreLatency
 
-__all__ = ["payload_nbytes", "KVStore"]
+__all__ = ["payload_nbytes", "KVStore", "TXN_ABORT"]
+
+# Sentinel a read-modify-write transform may return to abort the
+# transaction: nothing is written, the version is not bumped, and the
+# completion callback does not fire.  Used by the chaos fabric when a
+# parameter server crashes before its merge commits.
+TXN_ABORT = object()
 
 
 def payload_nbytes(value: Any, override: int | None = None) -> int:
@@ -55,6 +62,39 @@ class KVStore:
         self.reads = 0
         self.writes = 0
         self.updates = 0
+        # Chaos fault windows (outages / degraded latency); see
+        # set_fault_windows.  Empty tuple = healthy store.
+        self.fault_windows: tuple[StoreFaultWindow, ...] = ()
+        self.outage_blocked_ops = 0
+        self.degraded_ops = 0
+
+    # -- chaos fault windows ----------------------------------------------
+    def set_fault_windows(self, windows: tuple[StoreFaultWindow, ...]) -> None:
+        """Install outage / degraded-latency windows (chaos injection)."""
+        self.fault_windows = tuple(windows)
+
+    def _chaos_delay(self, delay: float, op: str) -> float:
+        """Operation latency adjusted for any active fault window.
+
+        During a hard outage the operation blocks until the window lifts
+        and *then* pays its normal latency; during a degraded window the
+        latency is multiplied.  Overlapping windows compound.
+        """
+        now = self.sim.now
+        for window in self.fault_windows:
+            if not window.covers(now):
+                continue
+            if window.latency_factor is None:
+                self.outage_blocked_ops += 1
+                self._emit(
+                    "kv.outage", op=op, blocked_s=window.end_s - now
+                )
+                delay += window.end_s - now
+            else:
+                self.degraded_ops += 1
+                self._emit("kv.degraded", op=op, factor=window.latency_factor)
+                delay *= window.latency_factor
+        return delay
 
     # -- synchronous face (setup/test use; charges no simulated time) ---
     def get_now(self, key: str) -> Any:
@@ -88,7 +128,7 @@ class KVStore:
         """Read ``key``; ``on_done(value)`` fires after the read latency."""
         value = self.get_now(key)
         self.reads += 1
-        delay = self.latency.read(payload_nbytes(value, nbytes))
+        delay = self._chaos_delay(self.latency.read(payload_nbytes(value, nbytes)), "read")
         self.sim.schedule(delay, lambda: on_done(value), label=f"{self.name}:read")
 
     def write(
@@ -100,7 +140,7 @@ class KVStore:
     ) -> None:
         """Write ``key``; visible (and ``on_done`` fired) after write latency."""
         self.writes += 1
-        delay = self.latency.write(payload_nbytes(value, nbytes))
+        delay = self._chaos_delay(self.latency.write(payload_nbytes(value, nbytes)), "write")
 
         def commit() -> None:
             self.put_now(key, value)

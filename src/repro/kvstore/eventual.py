@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from .base import KVStore, payload_nbytes
+from .base import TXN_ABORT, KVStore, payload_nbytes
 
 __all__ = ["EventualStore"]
 
@@ -46,10 +46,16 @@ class EventualStore(KVStore):
         self.updates += 1
         self.in_flight[key] = self.in_flight.get(key, 0) + 1
         size = payload_nbytes(snapshot, nbytes)
-        delay = self.latency.update(size)
+        delay = self._chaos_delay(self.latency.update(size), "update")
 
         def commit() -> None:
             self.in_flight[key] -= 1
+            new_value = transform(snapshot)
+            if new_value is TXN_ABORT:
+                # Aborted (e.g. the merging parameter server crashed before
+                # commit): no write, no version bump, no lost-update blame.
+                self._emit("kv.txn_abort", key=key)
+                return
             current = self.version(key)
             newly_lost = 0
             if current > snapshot_version:
@@ -64,7 +70,6 @@ class EventualStore(KVStore):
                 self.lost_updates += newly_lost
                 if newly_lost:
                     self._emit("kv.lost_update", key=key, clobbered=newly_lost)
-            new_value = transform(snapshot)
             self.put_now(key, new_value)
             self._emit("kv.update", key=key, latency=delay, lost=newly_lost)
             if on_done is not None:

@@ -64,6 +64,17 @@ class StoreLatency:
         """
         return 0.5 * self.read(nbytes) + 0.5 * self.write(nbytes)
 
+    def scaled(self, factor: float) -> "StoreLatency":
+        """A profile with every operation slowed by ``factor`` (chaos
+        degraded-latency windows; factor must be positive)."""
+        if factor <= 0:
+            raise ConfigurationError(f"latency scale factor must be positive, got {factor}")
+        return StoreLatency(
+            base_s=self.base_s * factor,
+            per_byte_s=self.per_byte_s * factor,
+            write_factor=self.write_factor,
+        )
+
 
 def _calibrated(total_update_s: float, base_s: float, write_factor: float) -> StoreLatency:
     """Solve per_byte so update(PAPER_PARAM_BYTES) == total_update_s."""

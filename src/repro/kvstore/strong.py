@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
-from .base import KVStore, payload_nbytes
+from .base import TXN_ABORT, KVStore, payload_nbytes
 
 __all__ = ["StrongStore"]
 
@@ -42,10 +42,14 @@ class StrongStore(KVStore):
             # Value is read *inside* the critical section: serializable.
             current = self.get_now(key)
             size = payload_nbytes(current, nbytes)
-            delay = self.latency.update(size)
+            delay = self._chaos_delay(self.latency.update(size), "update")
 
             def commit() -> None:
                 new_value = transform(current)
+                if new_value is TXN_ABORT:
+                    self._emit("kv.txn_abort", key=key)
+                    self._release(key)
+                    return
                 self.put_now(key, new_value)
                 self._emit("kv.update", key=key, latency=delay, lost=0)
                 if on_done is not None:

@@ -1,5 +1,13 @@
 """Discrete-event simulation substrate: clock, resources, network, preemption."""
 
+from .chaos import (
+    ChaosPlan,
+    PartitionSchedule,
+    PartitionWindow,
+    ServerCrash,
+    StoreFaultWindow,
+    TransferFaultPlan,
+)
 from .congestion import CongestedLink, CongestionSchedule, diurnal_schedule
 from .engine import Simulator
 from .events import EventHandle, EventQueue
@@ -20,6 +28,12 @@ from .rng import RngRegistry, stable_name_hash
 from .tracing import Trace, TraceRecord
 
 __all__ = [
+    "ChaosPlan",
+    "TransferFaultPlan",
+    "PartitionWindow",
+    "PartitionSchedule",
+    "StoreFaultWindow",
+    "ServerCrash",
     "CongestedLink",
     "CongestionSchedule",
     "diurnal_schedule",

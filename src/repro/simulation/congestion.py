@@ -111,3 +111,7 @@ class CongestedLink:
         """Transfer seconds at the bandwidth in effect at time ``now``."""
         factor = self.schedule.factor_at(now)
         return self.base.scaled(factor).transfer_time(nbytes, rng)
+
+    def handshake_time(self) -> float:
+        """Connection-failure detection time (congestion leaves RTT alone)."""
+        return self.base.handshake_time()

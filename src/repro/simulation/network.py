@@ -64,6 +64,15 @@ class NetworkLink:
             base *= float(rng.lognormal(mean=0.0, sigma=self.jitter))
         return base
 
+    def handshake_time(self) -> float:
+        """Seconds to learn a connection cannot be established (one RTT).
+
+        Used by the chaos fabric: a transfer blocked by a network partition
+        fails fast after the handshake instead of charging the full
+        transfer duration.
+        """
+        return 2.0 * self.latency_s
+
     def scaled(self, factor: float) -> "NetworkLink":
         """A link with bandwidth scaled by ``factor`` (e.g. congestion)."""
         return NetworkLink(self.latency_s, self.bandwidth_bps * factor, self.jitter)

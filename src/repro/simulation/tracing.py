@@ -77,6 +77,13 @@ class Trace:
                 return record
         return None
 
-    def summary(self) -> dict[str, int]:
-        """Counter snapshot (kind -> count), sorted by kind."""
-        return dict(sorted(self.counters.items()))
+    def summary(self, prefix: str | None = None) -> dict[str, int]:
+        """Counter snapshot (kind -> count), sorted by kind.
+
+        ``prefix`` restricts the snapshot to one subsystem's kinds, e.g.
+        ``summary("ps.")`` or ``summary("net.")`` for the chaos layers.
+        """
+        items = sorted(self.counters.items())
+        if prefix is not None:
+            items = [(k, v) for k, v in items if k.startswith(prefix)]
+        return dict(items)

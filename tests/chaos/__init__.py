@@ -1,0 +1,21 @@
+"""Chaos soak harness: seeded fault plans + conservation invariants.
+
+Shared by the tier-1 soak test in this package and the heavier
+``benchmarks/test_chaos_soak.py`` run.
+"""
+
+from ._invariants import (
+    assert_chaos_invariants,
+    assert_counters_conserved,
+    assert_exactly_once_assimilation,
+    assert_no_lost_workunits,
+    seeded_plan,
+)
+
+__all__ = [
+    "assert_chaos_invariants",
+    "assert_counters_conserved",
+    "assert_exactly_once_assimilation",
+    "assert_no_lost_workunits",
+    "seeded_plan",
+]

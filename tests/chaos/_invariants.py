@@ -1,0 +1,138 @@
+"""Conservation invariants for chaos runs, and the seeded plan builder.
+
+The invariants are the soak harness's definition of "nothing broke":
+
+* **No workunit lost** — every minted workunit reached a terminal state
+  and every (epoch, shard) pair was completed by someone, despite
+  transfer failures, partitions, server crashes and store outages.
+* **Exactly-once assimilation** — each DONE workunit was assimilated
+  exactly once; crashes may re-run work but never double-apply it.
+* **Counters conserved** — the counters reported in ``RunResult`` agree
+  with the trace, so no event was dropped or double-counted on either
+  path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.boinc import WorkunitState
+from repro.simulation.chaos import (
+    ChaosPlan,
+    PartitionWindow,
+    ServerCrash,
+    StoreFaultWindow,
+    TransferFaultPlan,
+)
+
+
+def assert_no_lost_workunits(runner) -> None:
+    """Every workunit terminal; every (epoch, shard) completed by someone."""
+    wus = runner.server.scheduler._workunits  # test-only peek
+    stuck = [wu.wu_id for wu in wus.values() if not wu.is_terminal]
+    assert not stuck, f"non-terminal workunits after run: {stuck}"
+
+    done_by_epoch: dict[int, set[int]] = {}
+    for wu in wus.values():
+        if wu.state is WorkunitState.DONE:
+            done_by_epoch.setdefault(wu.epoch, set()).add(wu.shard_index)
+    shards = set(range(runner.config.num_shards))
+    for epoch, got in sorted(done_by_epoch.items()):
+        assert got == shards, f"epoch {epoch} lost shards {sorted(shards - got)}"
+    assert len(done_by_epoch) == len(runner.result.epochs)
+
+
+def assert_exactly_once_assimilation(runner) -> None:
+    """Each DONE workunit assimilated exactly once — crashes may re-run
+    work (abort + requeue) but must never double-apply an update."""
+    assimilated = [r["wu"] for r in runner.trace.of_kind("server.assimilated")]
+    dupes = sorted(wu for wu, n in Counter(assimilated).items() if n > 1)
+    assert not dupes, f"double-assimilated workunits: {dupes}"
+
+    wus = runner.server.scheduler._workunits
+    done = {wu.wu_id for wu in wus.values() if wu.state is WorkunitState.DONE}
+    assert set(assimilated) == done, (
+        f"assimilation set != DONE set: "
+        f"missing={sorted(done - set(assimilated))} "
+        f"extra={sorted(set(assimilated) - done)}"
+    )
+
+
+def assert_counters_conserved(runner) -> None:
+    """RunResult counters agree with the trace record-for-record."""
+    c = runner.result.counters
+    trace = runner.trace
+    assert c["assimilations"] == trace.count("server.assimilated")
+    assert c["timeouts"] == trace.count("sched.timeout")
+    if "transfer_failures" in c:  # chaos counters present iff plan active
+        assert c["transfer_failures"] == trace.count("web.xfer_fail")
+        assert c["transfer_retries"] == trace.count("net.retry")
+        assert c["net_partition_blocks"] == trace.count("net.partition")
+        assert c["ps_crashes"] == trace.count("ps.crash")
+        assert c["ps_recoveries"] == trace.count("ps.recover")
+        assert c["kv_outage_blocks"] == trace.count("kv.outage")
+        assert c["kv_degraded_ops"] == trace.count("kv.degraded")
+        # Every retried or abandoned transfer started as a failed one.
+        assert c["transfer_failures"] >= c["transfer_retries"]
+
+
+def assert_chaos_invariants(runner) -> None:
+    """All three soak invariants on a completed DistributedRunner."""
+    assert_no_lost_workunits(runner)
+    assert_exactly_once_assimilation(runner)
+    assert_counters_conserved(runner)
+
+
+def seeded_plan(
+    seed: int,
+    horizon_s: float,
+    *,
+    crash_window: tuple[float, float] = (0.3, 0.6),
+) -> ChaosPlan:
+    """A randomized-but-seeded fault plan touching every chaos layer.
+
+    The plan is pure data derived from ``seed`` alone, so the same seed
+    always produces the same plan — the reproducibility assertions in the
+    soak tests lean on this.  ``horizon_s`` is a rough estimate of the
+    run length used to place windows; windows past the actual end of the
+    run simply never fire.
+    """
+    rng = np.random.default_rng(seed)
+    transfer = TransferFaultPlan(
+        failure_p=float(rng.uniform(0.02, 0.08)),
+        stall_p=float(rng.uniform(0.005, 0.02)),
+        stall_timeout_s=60.0,
+    )
+    partitions = tuple(
+        PartitionWindow(
+            start_s=float(rng.uniform(0.1, 0.8)) * horizon_s,
+            duration_s=float(rng.uniform(0.02, 0.05)) * horizon_s,
+        )
+        for _ in range(2)
+    )
+    lo, hi = crash_window
+    ps_crashes = (
+        ServerCrash(
+            at_s=float(rng.uniform(lo, hi)) * horizon_s,
+            restart_delay_s=float(rng.uniform(30.0, 90.0)),
+        ),
+    )
+    kv_windows = (
+        StoreFaultWindow(
+            start_s=float(rng.uniform(0.1, 0.3)) * horizon_s,
+            duration_s=float(rng.uniform(10.0, 40.0)),
+        ),
+        StoreFaultWindow(
+            start_s=float(rng.uniform(0.6, 0.9)) * horizon_s,
+            duration_s=float(rng.uniform(20.0, 60.0)),
+            latency_factor=4.0,
+        ),
+    )
+    return ChaosPlan(
+        transfer=transfer,
+        partitions=partitions,
+        ps_crashes=ps_crashes,
+        kv_windows=kv_windows,
+    )

@@ -1,0 +1,58 @@
+"""Tier-1 chaos soak: a small seeded run through every fault layer.
+
+The heavyweight P3C3T4 soak lives in ``benchmarks/test_chaos_soak.py``;
+this keeps a fast always-on version in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+from repro.core import FaultConfig, run_experiment
+from repro.core.runner import DistributedRunner
+from repro.errors import TrainingError
+
+from ..core.test_runner import tiny_config
+from ._invariants import assert_chaos_invariants, seeded_plan
+
+SOAK_SEED = 2021
+HORIZON_S = 800.0
+
+
+def soak_config(seed: int = SOAK_SEED):
+    plan = seeded_plan(seed, HORIZON_S)
+    return tiny_config(max_epochs=3, faults=FaultConfig(chaos=plan))
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        assert seeded_plan(1, HORIZON_S) == seeded_plan(1, HORIZON_S)
+
+    def test_different_seed_different_plan(self):
+        assert seeded_plan(1, HORIZON_S) != seeded_plan(2, HORIZON_S)
+
+
+class TestSmallSoak:
+    def test_invariants_hold_under_full_chaos(self):
+        runner = DistributedRunner(soak_config())
+        try:
+            result = runner.run()
+        except TrainingError:
+            return  # a loud failure is an acceptable outcome; silence is not
+        assert len(result.epochs) == 3
+        assert_chaos_invariants(runner)
+        # The marquee fault layers actually fired under this seeded plan.
+        counters = result.counters
+        assert counters["transfer_failures"] > 0
+        assert counters["transfer_retries"] > 0
+        assert counters["ps_crashes"] == 1
+        assert counters["ps_recoveries"] == 1
+
+    def test_bit_identical_repro(self):
+        a = run_experiment(soak_config())
+        b = run_experiment(soak_config())
+        assert a.counters == b.counters
+        assert [e.val_accuracy_mean for e in a.epochs] == [
+            e.val_accuracy_mean for e in b.epochs
+        ]
+        assert [e.end_time_s for e in a.epochs] == [
+            e.end_time_s for e in b.epochs
+        ]

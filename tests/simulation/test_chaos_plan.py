@@ -1,0 +1,128 @@
+"""Chaos-plan dataclass validation and window queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.chaos import (
+    ChaosPlan,
+    PartitionSchedule,
+    PartitionWindow,
+    ServerCrash,
+    StoreFaultWindow,
+    TransferFaultPlan,
+)
+
+
+class TestTransferFaultPlan:
+    def test_defaults_inactive(self):
+        assert not TransferFaultPlan().active
+
+    def test_active_with_any_probability(self):
+        assert TransferFaultPlan(failure_p=0.1).active
+        assert TransferFaultPlan(stall_p=0.1).active
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TransferFaultPlan(failure_p=-0.1)
+        with pytest.raises(ConfigurationError):
+            TransferFaultPlan(stall_p=1.5)
+
+    def test_probabilities_cannot_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            TransferFaultPlan(failure_p=0.7, stall_p=0.4)
+
+    def test_stall_timeout_positive(self):
+        with pytest.raises(ConfigurationError):
+            TransferFaultPlan(stall_timeout_s=0.0)
+
+
+class TestPartitionWindow:
+    def test_blocks_everyone_when_clients_empty(self):
+        w = PartitionWindow(start_s=10.0, duration_s=5.0)
+        assert w.blocks("any-client", 12.0)
+        assert not w.blocks("any-client", 9.0)
+        assert not w.blocks("any-client", 15.0)  # end is exclusive
+
+    def test_blocks_only_listed_clients(self):
+        w = PartitionWindow(10.0, 5.0, clients=("c1",))
+        assert w.blocks("c1", 12.0)
+        assert not w.blocks("c2", 12.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(-1.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(0.0, 0.0)
+
+    def test_schedule_finds_blocking_window(self):
+        sched = PartitionSchedule(
+            (PartitionWindow(0.0, 5.0, ("c1",)), PartitionWindow(10.0, 5.0))
+        )
+        assert sched.blocking("c1", 2.0).clients == ("c1",)
+        assert sched.blocking("c2", 2.0) is None
+        assert sched.blocking("c2", 11.0) is not None
+        assert bool(sched)
+        assert not bool(PartitionSchedule())
+
+
+class TestStoreFaultWindow:
+    def test_outage_covers(self):
+        w = StoreFaultWindow(100.0, 50.0)
+        assert w.latency_factor is None
+        assert w.covers(100.0)
+        assert w.covers(149.0)
+        assert not w.covers(150.0)
+
+    def test_degraded_factor_bounds(self):
+        StoreFaultWindow(0.0, 1.0, latency_factor=2.0)
+        with pytest.raises(ConfigurationError):
+            StoreFaultWindow(0.0, 1.0, latency_factor=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StoreFaultWindow(-1.0, 1.0)
+
+
+class TestServerCrash:
+    def test_defaults(self):
+        crash = ServerCrash(at_s=60.0)
+        assert crash.restart_delay_s == 120.0
+
+    def test_permanent_loss(self):
+        assert ServerCrash(60.0, restart_delay_s=None).restart_delay_s is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerCrash(-1.0)
+        with pytest.raises(ConfigurationError):
+            ServerCrash(0.0, restart_delay_s=0.0)
+
+
+class TestChaosPlan:
+    def test_empty_plan_inactive(self):
+        assert not ChaosPlan().active
+
+    def test_each_layer_activates(self):
+        assert ChaosPlan(transfer=TransferFaultPlan(failure_p=0.1)).active
+        assert ChaosPlan(partitions=(PartitionWindow(0.0, 1.0),)).active
+        assert ChaosPlan(ps_crashes=(ServerCrash(1.0),)).active
+        assert ChaosPlan(kv_windows=(StoreFaultWindow(0.0, 1.0),)).active
+
+    def test_type_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(transfer="nope")
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(partitions=(object(),))
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(ps_crashes=(object(),))
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kv_windows=(object(),))
+
+    def test_plan_is_pure_data(self):
+        # Same plan compares equal to an identically built one: plans hold
+        # no RNG state, which is what makes chaos runs reproducible.
+        a = ChaosPlan(transfer=TransferFaultPlan(failure_p=0.2))
+        b = ChaosPlan(transfer=TransferFaultPlan(failure_p=0.2))
+        assert a == b

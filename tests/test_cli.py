@@ -173,3 +173,108 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "alpha=0.8" in out and "e/(e+1)" in out
+
+
+class TestFaultFlags:
+    def test_fleet_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--preempt-p", "0.1",
+                "--corrupt-clients", "2",
+                "--corruption-scale", "5.0",
+                "--churn-per-hour", "3.0",
+                "--max-volunteers", "9",
+            ]
+        )
+        assert args.preempt_p == 0.1
+        assert args.corrupt_clients == 2
+        assert args.corruption_scale == 5.0
+        assert args.churn_per_hour == 3.0
+        assert args.max_volunteers == 9
+
+    def test_fleet_flags_reach_fault_config(self):
+        from repro.cli import _parse_faults
+
+        args = build_parser().parse_args(
+            ["run", "--corrupt-clients", "1", "--churn-per-hour", "2.0",
+             "--max-volunteers", "4"]
+        )
+        faults = _parse_faults(args)
+        assert faults.corrupt_clients == 1
+        assert faults.volunteer_arrivals_per_hour == 2.0
+        assert faults.max_volunteers == 4
+        assert faults.chaos is None  # no chaos flags -> no plan
+
+    def test_chaos_flags_build_plan(self):
+        from repro.cli import _parse_faults
+
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--xfer-fail-p", "0.05",
+                "--xfer-stall-p", "0.01",
+                "--xfer-stall-timeout", "45",
+                "--partition", "100:50",
+                "--partition", "300:20:c1,c2",
+                "--ps-crash", "400:60",
+                "--ps-crash", "900:never",
+                "--kv-outage", "200:30",
+                "--kv-degrade", "500:100:4.0",
+                "--no-chaos-restore",
+            ]
+        )
+        plan = _parse_faults(args).chaos
+        assert plan is not None and plan.active
+        assert plan.transfer.failure_p == 0.05
+        assert plan.transfer.stall_p == 0.01
+        assert plan.transfer.stall_timeout_s == 45.0
+        assert plan.partitions[0].clients == ()  # whole fleet
+        assert plan.partitions[1].clients == ("c1", "c2")
+        assert plan.ps_crashes[0].at_s == 400.0
+        assert plan.ps_crashes[0].restart_delay_s == 60.0
+        assert plan.ps_crashes[1].restart_delay_s is None  # never restarts
+        outage, degraded = plan.kv_windows
+        assert outage.latency_factor is None  # hard outage
+        assert degraded.latency_factor == 4.0
+        assert plan.restore_from_checkpoint is False
+
+    def test_ps_crash_default_restart_delay(self):
+        from repro.cli import _parse_ps_crash
+
+        crash = _parse_ps_crash("250")
+        assert crash.at_s == 250.0 and crash.restart_delay_s == 120.0
+
+    def test_malformed_windows_rejected(self):
+        from repro.cli import _parse_kv_degrade, _parse_partition
+
+        with pytest.raises(SystemExit):
+            _parse_partition("100")  # missing duration
+        with pytest.raises(SystemExit):
+            _parse_kv_degrade("100:50")  # missing factor
+
+    def test_sweep_accepts_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--xfer-fail-p", "0.1", "--ps-crash", "500",
+             "--max-volunteers", "4"]
+        )
+        assert args.xfer_fail_p == 0.1
+        assert args.ps_crash == ["500"]
+        assert args.max_volunteers == 4
+
+    def test_run_command_tiny_with_chaos(self, capsys):
+        code = main(
+            [
+                "run",
+                "-p", "1", "-c", "2", "-t", "2",
+                "--epochs", "1",
+                "--shards", "6",
+                "--alpha", "0.9",
+                "--xfer-fail-p", "0.2",
+                "--kv-outage", "10:20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped: max_epochs" in out
+        assert "transfer_failures" in out  # chaos counters reported
