@@ -1,0 +1,103 @@
+"""Fig. 2 timings re-derived from exported telemetry (first JSON artifact).
+
+Runs the four Fig. 2 configurations with the full observability stack
+attached, exports one sweep-schema telemetry document to
+``benchmarks/results/telemetry_fig2.json``, and then rebuilds the paper's
+timing table *from the JSON alone* — proving the export carries enough to
+reproduce the figure without re-running the simulation.
+
+Also pins the two acceptance properties of the PR:
+
+* the invariant auditor is on for every benchmark run and reports zero
+  violations;
+* the audited run is bit-identical to an auditor-off run (same digest).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import ConstantAlpha, TrainingJobConfig
+from repro.core.runner import DistributedRunner
+from repro.obs import (
+    OBSERVABILITY_OFF,
+    build_sweep_telemetry,
+    read_telemetry,
+    write_telemetry,
+)
+
+from _helpers import PAPER_EPOCHS, RESULTS_DIR, emit, run_once
+
+FIG2_SHAPES = [(1, 3, 2), (1, 3, 8), (3, 3, 8), (5, 5, 2)]
+
+
+def fig2_config(p: int, c: int, t: int) -> TrainingJobConfig:
+    base = TrainingJobConfig(max_epochs=PAPER_EPOCHS, seed=1234)
+    return base.with_pct(p, c, t).with_alpha(ConstantAlpha(0.95))
+
+
+def test_telemetry_fig2_artifact(benchmark):
+    def build():
+        runners = []
+        for p, c, t in FIG2_SHAPES:
+            runner = DistributedRunner(fig2_config(p, c, t))
+            runner.run()
+            assert runner.obs.report.ok, runner.obs.report.violations
+            runners.append(runner)
+        return runners
+
+    runners = run_once(benchmark, build)
+
+    # Export: one sweep-schema document holding all four runs.
+    document = build_sweep_telemetry([r.telemetry() for r in runners])
+    path = write_telemetry(RESULTS_DIR / "telemetry_fig2.json", document)
+
+    # Reproduce the timing table from the JSON alone (digest-validated).
+    loaded = read_telemetry(path)
+    rows = []
+    for run in loaded["runs"]:
+        epochs = run["epochs"]
+        turnaround = run["metrics"]["histograms"]["client.turnaround_s"]
+        epoch_s = run["metrics"]["histograms"]["epoch.duration_s"]
+        rows.append(
+            [
+                run["label"].split(":")[0],
+                len(epochs),
+                round(run["total_time_s"] / 3600, 2),
+                round(epochs[-1]["val_accuracy_mean"], 3),
+                round(epoch_s["p50"], 1),
+                round(turnaround["p50"], 1),
+                round(turnaround["p95"], 1),
+                "OK" if run["audit"]["ok"] else "FAIL",
+            ]
+        )
+    table = render_table(
+        [
+            "config",
+            "epochs",
+            "total h",
+            "final acc",
+            "epoch p50 s",
+            "subtask p50 s",
+            "subtask p95 s",
+            "audit",
+        ],
+        rows,
+        title="Fig. 2 timings rebuilt from benchmarks/results/telemetry_fig2.json",
+    )
+    emit("telemetry_fig2", table)
+
+    # Every run audited clean, full epoch budget, timing data present.
+    assert all(run["audit"]["ok"] for run in loaded["runs"])
+    assert all(len(run["epochs"]) == PAPER_EPOCHS for run in loaded["runs"])
+    assert all(
+        run["metrics"]["histograms"]["client.turnaround_s"]["count"] > 0
+        for run in loaded["runs"]
+    )
+
+    # Acceptance: audited run bit-identical to an auditor-off run.
+    p, c, t = FIG2_SHAPES[0]
+    bare = DistributedRunner(fig2_config(p, c, t), observability=OBSERVABILITY_OFF)
+    bare.run()
+    audited = loaded["runs"][0]
+    assert bare.telemetry()["digest"] == audited["digest"]
+    assert dict(bare.result.counters) == audited["counters"]

@@ -1,0 +1,187 @@
+"""ASCII dashboards over exported run telemetry.
+
+Renders a ``repro.telemetry`` document (see :mod:`repro.obs.telemetry`)
+as terminal-readable panels: the accuracy curve, counter and
+latency-percentile tables, per-component timers, the wall-clock profile
+and the audit verdict.  This is the read side of ``repro run
+--metrics-out``: everything here works from the JSON alone, no live
+runner required.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ascii_plot import ascii_chart
+from .tables import format_hours, render_table
+
+__all__ = ["telemetry_dashboard", "sweep_dashboard"]
+
+
+def _header(payload: dict[str, Any]) -> list[str]:
+    config = payload.get("config", {})
+    lines = [
+        f"run {payload['label']}  (seed {payload.get('seed')}, "
+        f"schema v{payload['schema_version']})",
+        f"stopped: {payload['stopped_reason']}  "
+        f"after {format_hours(payload['total_time_s'])} simulated  "
+        f"({len(payload['epochs'])} epochs)",
+    ]
+    if config:
+        lines.append(
+            f"substrate: {config.get('num_param_servers')} PS / "
+            f"{config.get('num_clients')} clients / "
+            f"T{config.get('max_concurrent_subtasks')}, "
+            f"{config.get('num_shards')} shards, "
+            f"store={config.get('store_kind')}, rule={config.get('rule')}"
+        )
+    return lines
+
+
+def _accuracy_panel(payload: dict[str, Any]) -> list[str]:
+    epochs = payload["epochs"]
+    if not epochs:
+        return []
+    hours = [e["end_time_s"] / 3600.0 for e in epochs]
+    chart = ascii_chart(
+        {
+            "val": (hours, [e["val_accuracy_mean"] for e in epochs]),
+            "test": (hours, [e["test_accuracy"] for e in epochs]),
+        },
+        width=64,
+        height=12,
+        title="accuracy vs simulated hours",
+        x_label="hours",
+        y_label="acc",
+    )
+    return [chart]
+
+
+def _counters_panel(payload: dict[str, Any]) -> list[str]:
+    counters = payload.get("counters") or {}
+    if not counters:
+        return []
+    rows = [[name, value] for name, value in sorted(counters.items())]
+    return [render_table(["counter", "value"], rows, title="run counters")]
+
+
+def _histograms_panel(payload: dict[str, Any]) -> list[str]:
+    metrics = payload.get("metrics") or {}
+    histograms = metrics.get("histograms") or {}
+    rows = []
+    for name, snap in sorted(histograms.items()):
+        if not snap.get("count"):
+            continue
+        rows.append(
+            [
+                name,
+                snap["count"],
+                snap["mean"],
+                snap["p50"],
+                snap["p95"],
+                snap["p99"],
+                snap["max"],
+            ]
+        )
+    if not rows:
+        return []
+    return [
+        render_table(
+            ["histogram", "n", "mean", "p50", "p95", "p99", "max"],
+            rows,
+            title="latency distributions (simulated seconds)",
+        )
+    ]
+
+
+def _timers_panel(payload: dict[str, Any]) -> list[str]:
+    metrics = payload.get("metrics") or {}
+    timers = metrics.get("timers") or {}
+    rows = [
+        [name, snap["count"], snap["total_s"], snap["exclusive_s"]]
+        for name, snap in sorted(timers.items())
+    ]
+    if not rows:
+        return []
+    return [
+        render_table(
+            ["timer", "spans", "total s", "exclusive s"],
+            rows,
+            title="component timers (simulated clock)",
+        )
+    ]
+
+
+def _profile_panel(payload: dict[str, Any]) -> list[str]:
+    profile = payload.get("profile")
+    if not profile:
+        return []
+    rows = [
+        [label, stats["events"], round(stats["wall_s"], 4)]
+        for label, stats in profile["by_label"].items()
+    ]
+    rows.append(["TOTAL", profile["total_events"], round(profile["total_wall_s"], 4)])
+    return [
+        render_table(
+            ["event label", "events", "wall s"],
+            rows,
+            title="wall-clock profile (real seconds per event-label)",
+        )
+    ]
+
+
+def _audit_panel(payload: dict[str, Any]) -> list[str]:
+    audit = payload.get("audit")
+    if audit is None:
+        return ["audit: not attached"]
+    if audit["ok"]:
+        return [
+            f"audit: OK — {audit['checks']} checks over "
+            f"{audit['records_seen']} trace records, 0 violations"
+        ]
+    lines = [f"audit: FAILED — {len(audit['violations'])} violation(s):"]
+    lines.extend(f"  - {v}" for v in audit["violations"])
+    return lines
+
+
+def telemetry_dashboard(payload: dict[str, Any]) -> str:
+    """Render one run-telemetry document as a multi-panel ASCII dashboard."""
+    panels: list[str] = []
+    panels.extend(_header(payload))
+    for build in (
+        _accuracy_panel,
+        _counters_panel,
+        _histograms_panel,
+        _timers_panel,
+        _profile_panel,
+        _audit_panel,
+    ):
+        part = build(payload)
+        if part:
+            panels.append("")
+            panels.extend(part)
+    return "\n".join(panels)
+
+
+def sweep_dashboard(payload: dict[str, Any]) -> str:
+    """Render a sweep-telemetry document as a per-point summary table."""
+    rows = []
+    for run in payload["runs"]:
+        audit = run.get("audit")
+        epochs = run["epochs"]
+        rows.append(
+            [
+                run["label"],
+                len(epochs),
+                epochs[-1]["val_accuracy_mean"] if epochs else float("nan"),
+                format_hours(run["total_time_s"]),
+                ("OK" if audit["ok"] else "FAIL") if audit else "-",
+                run["digest"][:12],
+            ]
+        )
+    return render_table(
+        ["run", "epochs", "final acc", "time", "audit", "digest"],
+        rows,
+        title=f"sweep telemetry ({len(rows)} runs, schema "
+        f"v{payload['schema_version']})",
+    )

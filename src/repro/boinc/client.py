@@ -239,6 +239,16 @@ class ClientDaemon:
             self.subtasks_completed += 1
             accepted = self.scheduler.report_result(wu.wu_id, self.client_id)
             if accepted:
+                if self.trace is not None:
+                    # Subtask turnaround (Fig. 2's unit of work): assignment
+                    # to accepted result, including transfers and queueing.
+                    self.trace.emit(
+                        self.sim.now,
+                        "client.turnaround",
+                        wu=wu.wu_id,
+                        client=self.client_id,
+                        seconds=self.sim.now - wu.current_attempt.sent_at,
+                    )
                 self._on_result_accepted(wu, result)
             self.poll_for_work()
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, SchedulerError
+from ..errors import ConfigurationError, SchedulerError, SimulationError
 from ..simulation.chaos import PartitionSchedule, TransferFaultPlan
 from ..simulation.engine import Simulator
 from ..simulation.network import NetworkLink
@@ -166,6 +166,10 @@ class WebServer:
         self.bytes_up = 0
         self.bytes_wasted = 0  # partial transfers that failed mid-flight
         self.transfers_failed = 0
+        # Test-only escape hatch: peek_payloads bypasses the simulated
+        # transfer path entirely, so production code must never reach it.
+        # Tests that need it opt in explicitly.
+        self.peek_enabled = False
 
     # -- fault model -------------------------------------------------------
     def _fault_delay(
@@ -202,7 +206,14 @@ class WebServer:
     def peek_payloads(self, names: list[str]) -> dict[str, object]:
         """Test-only accessor: catalogue payloads with **no** simulated
         transfer, no caching side effects, and no fault injection.  The
-        simulation-correct path is :meth:`download`'s callback."""
+        simulation-correct path is :meth:`download`'s callback.  Guarded
+        behind ``peek_enabled`` (default off) so production paths cannot
+        grow a dependency on the un-simulated shortcut."""
+        if not self.peek_enabled:
+            raise SimulationError(
+                "peek_payloads is a test-only accessor; set "
+                "web.peek_enabled = True in the test to use it"
+            )
         return self._resolve(names)
 
     def download(

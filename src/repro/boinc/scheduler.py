@@ -116,6 +116,14 @@ class Scheduler:
             wu.created_at = self.sim.now
             self._workunits[wu.wu_id] = wu
             self._unsent.append(wu.wu_id)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "sched.created",
+                    wu=wu.wu_id,
+                    epoch=wu.epoch,
+                    shard=wu.shard_index,
+                )
 
     def get_workunit(self, wu_id: str) -> Workunit:
         """Look up a workunit by id; raises SchedulerError if unknown."""
@@ -274,6 +282,10 @@ class Scheduler:
                 self._unsent.append(wu_id)
                 self.reissues += 1
                 requeued.append(wu)
+            elif self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "sched.exhausted", wu=wu_id, via="client_error"
+                )
             record.failed += 1
             self._bump_reliability(record, success=False)
             if self.trace is not None:
@@ -316,6 +328,8 @@ class Scheduler:
         if retry:
             self._unsent.append(wu_id)
             self.reissues += 1
+        elif self.trace is not None:
+            self.trace.emit(self.sim.now, "sched.exhausted", wu=wu_id, via="invalid")
         return retry
 
     # -- timeouts ---------------------------------------------------------
@@ -331,6 +345,8 @@ class Scheduler:
         if wu.mark_timeout(self.sim.now):
             self._unsent.append(wu.wu_id)
             self.reissues += 1
+        elif self.trace is not None:
+            self.trace.emit(self.sim.now, "sched.exhausted", wu=wu.wu_id, via="timeout")
         if self.trace is not None:
             self.trace.emit(self.sim.now, "sched.timeout", wu=wu.wu_id, client=client_id)
         if self.on_timeout is not None:

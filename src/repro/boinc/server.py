@@ -85,13 +85,18 @@ class BoincServer:
                 self.sim.now, "server.invalid_result", wu=wu.wu_id, reason=verdict.reason
             )
             self.credit.deny(host, now=self.sim.now)
+            self.trace.emit(self.sim.now, "credit.deny", wu=wu.wu_id, host=host)
             retried = self.scheduler.requeue_after_invalid(wu.wu_id)
             if retried:
                 self.poke_clients()
             return
+        self.trace.emit(self.sim.now, "server.result_valid", wu=wu.wu_id, host=host)
         self.credit.grant_single(
             CreditClaim(host_id=host, wu_id=wu.wu_id, claimed=wu.work_units),
             now=self.sim.now,
+        )
+        self.trace.emit(
+            self.sim.now, "credit.grant", wu=wu.wu_id, host=host, amount=wu.work_units
         )
         wu.mark_valid(self.sim.now, result=None)  # payload flows to assimilator
 

@@ -14,6 +14,8 @@ Commands
     Print the §IV-E expected-delay table for a job shape.
 ``alpha-study``
     Quick α sweep at a chosen P/C/T.
+``dashboard``
+    Render an exported telemetry JSON (``--metrics-out``) as ASCII panels.
 """
 
 from __future__ import annotations
@@ -23,7 +25,12 @@ import dataclasses
 import sys
 from typing import Sequence
 
-from .analysis import format_hours, render_table
+from .analysis import (
+    format_hours,
+    render_table,
+    sweep_dashboard,
+    telemetry_dashboard,
+)
 from .cloud import PricingClass, paper_p5c5t2_fleet
 from .core import (
     RULE_NAMES,
@@ -38,6 +45,12 @@ from .core import (
 from .core.baselines import run_single_instance
 from .core.checkpoint import load_checkpoint, save_checkpoint
 from .core.runner import DistributedRunner
+from .obs import (
+    ObservabilityConfig,
+    build_sweep_telemetry,
+    read_telemetry,
+    write_telemetry,
+)
 from .simulation import BernoulliSubtaskModel
 from .simulation.chaos import (
     ChaosPlan,
@@ -187,6 +200,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1234)
     run_p.add_argument("--checkpoint-out", default=None, metavar="FILE")
     run_p.add_argument("--resume", default=None, metavar="FILE")
+    obs_g = run_p.add_argument_group("observability")
+    obs_g.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write schema-versioned run telemetry (metrics, audit report, "
+        "profile) as JSON",
+    )
+    obs_g.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="detach the invariant auditor (it is on by default)",
+    )
+    obs_g.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the wall-clock profiler (per event-label attribution)",
+    )
 
     single_p = sub.add_parser("single", help="serial single-instance baseline")
     single_p.add_argument("--epochs", type=int, default=10)
@@ -225,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="server step size for gradient rules (downpour/dcasgd/rescaled)",
     )
     sweep_p.add_argument("--seed", type=int, default=1234)
+    sweep_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write one telemetry document per sweep point as a single "
+        "sweep-schema JSON",
+    )
     _add_fault_args(sweep_p)
 
     alpha_p = sub.add_parser("alpha-study", help="quick alpha sweep")
@@ -235,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     alpha_p.add_argument(
         "--alphas", default="0.7,0.95,var", help="comma-separated values / 'var'"
     )
+
+    dash_p = sub.add_parser(
+        "dashboard", help="render exported telemetry JSON as ASCII panels"
+    )
+    dash_p.add_argument("file", metavar="FILE", help="telemetry JSON to render")
     return parser
 
 
@@ -350,9 +393,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     resume = load_checkpoint(args.resume) if args.resume else None
-    runner = DistributedRunner(config, resume_from=resume)
+    obs_config = ObservabilityConfig(audit=not args.no_audit, profile=args.profile)
+    runner = DistributedRunner(config, resume_from=resume, observability=obs_config)
     result = runner.run()
     _print_run(result)
+    if args.metrics_out:
+        telemetry = runner.telemetry()
+        write_telemetry(args.metrics_out, telemetry)
+        print(f"telemetry written to {args.metrics_out} (digest {telemetry['digest']})")
     if args.checkpoint_out:
         save_checkpoint(args.checkpoint_out, runner.checkpoint())
         print(f"checkpoint written to {args.checkpoint_out}")
@@ -455,7 +503,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         faults=_parse_faults(args),
         seed=args.seed,
     )
-    sweep = Sweep(base)
+    telemetry_runs: list[dict] = []
+    if args.metrics_out:
+        # Swap in a runner that keeps the DistributedRunner long enough to
+        # export its telemetry; every sweep point runs with the auditor on.
+        def traced_runner(config: TrainingJobConfig) -> RunResult:
+            runner = DistributedRunner(config)
+            result = runner.run()
+            telemetry_runs.append(runner.telemetry())
+            return result
+
+        sweep = Sweep(base, runner=traced_runner)
+    else:
+        sweep = Sweep(base)
     sweep.axis("num_param_servers", [int(v) for v in args.servers.split(",")])
     sweep.axis("num_clients", [int(v) for v in args.clients.split(",")])
     sweep.axis("max_concurrent_subtasks", [int(v) for v in args.concurrency.split(",")])
@@ -476,6 +536,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     best_acc = sweep.best("final_val_accuracy")
     print(f"fastest: {fastest.label()} ({fastest.result.total_time_hours:.2f} h)")
     print(f"highest accuracy: {best_acc.label()} ({best_acc.result.final_val_accuracy:.3f})")
+    if args.metrics_out:
+        write_telemetry(args.metrics_out, build_sweep_telemetry(telemetry_runs))
+        print(f"telemetry written to {args.metrics_out} ({len(telemetry_runs)} runs)")
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    payload = read_telemetry(args.file)
+    if payload["schema"].endswith(".sweep"):
+        print(sweep_dashboard(payload))
+    else:
+        print(telemetry_dashboard(payload))
     return 0
 
 
@@ -486,6 +558,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "preempt-model": _cmd_preempt_model,
     "alpha-study": _cmd_alpha_study,
+    "dashboard": _cmd_dashboard,
 }
 
 

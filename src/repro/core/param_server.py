@@ -248,6 +248,7 @@ class ParameterServerPool:
                 rule=self.rule.describe(),
                 accuracy=accuracy,
                 queue_wait=item.started_at - item.enqueued_at,
+                service=self.sim.now - item.started_at,
             )
         if item in self._inflight:
             self._inflight.remove(item)

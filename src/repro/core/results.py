@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,10 @@ class EpochRecord:
         """Error-bar width (proxy for the std-dev of accuracy, §IV-C)."""
         return self.val_accuracy_max - self.val_accuracy_min
 
+    def to_dict(self) -> dict:
+        """Plain-data form for telemetry export (JSON-serializable)."""
+        return asdict(self)
+
 
 @dataclass
 class RunResult:
@@ -52,6 +56,16 @@ class RunResult:
         """Record one finished epoch and advance the run clock."""
         self.epochs.append(record)
         self.total_time_s = record.end_time_s
+
+    def to_dict(self) -> dict:
+        """Plain-data form for telemetry export (JSON-serializable)."""
+        return {
+            "label": self.label,
+            "epochs": [e.to_dict() for e in self.epochs],
+            "total_time_s": self.total_time_s,
+            "stopped_reason": self.stopped_reason,
+            "counters": dict(self.counters),
+        }
 
     # -- series views (for plotting/benchmark tables) -------------------------
     def times_hours(self) -> np.ndarray:

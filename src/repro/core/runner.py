@@ -47,6 +47,7 @@ from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
 from ..nn.serialization import GradientAccumulator, state_to_vector, vector_to_state
 from ..nn.tensor import Tensor
+from ..obs.runtime import ObservabilityConfig, RunObservability
 from ..simulation.chaos import ChaosPlan, PartitionSchedule
 from ..simulation.congestion import CongestedLink, CongestionSchedule
 from ..simulation.engine import Simulator
@@ -92,12 +93,23 @@ class DistributedRunner:
     """One fully wired distributed-training experiment."""
 
     def __init__(
-        self, config: TrainingJobConfig, resume_from: "Checkpoint | None" = None
+        self,
+        config: TrainingJobConfig,
+        resume_from: "Checkpoint | None" = None,
+        observability: ObservabilityConfig | None = None,
     ) -> None:
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.sim = Simulator()
         self.trace = Trace()
+        # Observability bundle (metrics collector + invariant auditor by
+        # default).  Attached before any component can emit, so the
+        # auditor sees the complete event stream from the first publish.
+        self.obs = RunObservability(
+            observability if observability is not None else ObservabilityConfig(),
+            trace=self.trace,
+            sim=self.sim,
+        )
         self._resume = resume_from
         self._time_offset = 0.0
         # The server-side merge rule.  Deep-copied so stateful rules
@@ -517,6 +529,9 @@ class DistributedRunner:
     def _republish_params(self, vec: np.ndarray) -> None:
         """Expose the merged server copy as the downloadable parameter file."""
         self._param_publish_count += 1
+        self.trace.emit(
+            self.sim.now, "params.publish", version=self._param_publish_count
+        )
         self.rule.snapshot_sent(self._param_publish_count, vec)
         self.server.catalog.publish(
             ServerFile(
@@ -623,6 +638,7 @@ class DistributedRunner:
             self._current_epoch, param_file, replicas=self.config.replicas
         )
         self._epoch_assimilated = 0
+        self.obs.timer("run.epoch").start()
         self.server.publish_workunits(self._epoch_workunits)
         self.trace.emit(self.sim.now, "epoch.start", epoch=self._current_epoch)
 
@@ -726,11 +742,13 @@ class DistributedRunner:
         self.trace.emit(
             self.sim.now, "epoch.end", epoch=epoch, accuracy=mean, spread=hi - lo
         )
+        self.obs.timer("run.epoch").stop()
         return record
 
     def run(self) -> RunResult:
         """Execute the full training job; returns the per-epoch results."""
         config = self.config
+        self.obs.timer("run.total").start()
         self._publish_epoch()
         while True:
             progressed = self.sim.step()
@@ -761,8 +779,18 @@ class DistributedRunner:
                 break
             self._current_epoch += 1
             self._publish_epoch()
+        self.obs.timer("run.total").stop()
         self._finalize_counters()
+        # Always-on audit: the run only counts as successful if every
+        # conservation law held (raises InvariantViolation otherwise).
+        self.obs.finalize(self)
         return self.result
+
+    def telemetry(self) -> dict:
+        """Schema-versioned telemetry document for this (finished) run."""
+        from ..obs.telemetry import build_run_telemetry
+
+        return build_run_telemetry(self)
 
     def _finalize_counters(self) -> None:
         sched = self.server.scheduler
@@ -841,7 +869,11 @@ class DistributedRunner:
 
 
 def run_experiment(
-    config: TrainingJobConfig, resume_from: Checkpoint | None = None
+    config: TrainingJobConfig,
+    resume_from: Checkpoint | None = None,
+    observability: ObservabilityConfig | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a runner and execute the job."""
-    return DistributedRunner(config, resume_from=resume_from).run()
+    return DistributedRunner(
+        config, resume_from=resume_from, observability=observability
+    ).run()

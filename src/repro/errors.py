@@ -50,3 +50,11 @@ class KVStoreError(ReproError):
 
 class TrainingError(ReproError):
     """A distributed training run failed or was misconfigured."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/telemetry layer (bad quantile, timer misnesting, ...)."""
+
+
+class InvariantViolation(ReproError):
+    """The invariant auditor caught a conservation-law violation in the trace."""

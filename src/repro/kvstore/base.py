@@ -129,6 +129,7 @@ class KVStore:
         value = self.get_now(key)
         self.reads += 1
         delay = self._chaos_delay(self.latency.read(payload_nbytes(value, nbytes)), "read")
+        self._emit("kv.read", key=key, latency=delay)
         self.sim.schedule(delay, lambda: on_done(value), label=f"{self.name}:read")
 
     def write(
@@ -141,6 +142,7 @@ class KVStore:
         """Write ``key``; visible (and ``on_done`` fired) after write latency."""
         self.writes += 1
         delay = self._chaos_delay(self.latency.write(payload_nbytes(value, nbytes)), "write")
+        self._emit("kv.write", key=key, latency=delay)
 
         def commit() -> None:
             self.put_now(key, value)

@@ -1,0 +1,65 @@
+"""repro.obs — run observability: metrics, profiling, auditing, telemetry.
+
+Four cooperating pieces, all optional and all zero-cost when disabled:
+
+* :mod:`.metrics` — counters / gauges / exact-sample histograms /
+  sim-clock timers in a get-or-create registry;
+* :mod:`.collector` — a trace observer mapping the substrate's event
+  stream onto those instruments;
+* :mod:`.audit` — the always-on invariant auditor asserting conservation
+  laws over the same stream;
+* :mod:`.profiler` — wall-clock attribution per engine event label;
+* :mod:`.telemetry` — the schema-versioned JSON export with its
+  determinism digest.
+
+``RunObservability`` (in :mod:`.runtime`) bundles them for a run.
+"""
+
+from .audit import AuditReport, InvariantAuditor
+from .collector import MetricsCollector
+from .metrics import (
+    NULL_TIMER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from .profiler import SimProfiler
+from .runtime import OBSERVABILITY_OFF, ObservabilityConfig, RunObservability
+from .telemetry import (
+    DIGEST_FIELDS,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_SWEEP_SCHEMA,
+    TELEMETRY_VERSION,
+    build_run_telemetry,
+    build_sweep_telemetry,
+    read_telemetry,
+    run_digest,
+    write_telemetry,
+)
+
+__all__ = [
+    "AuditReport",
+    "InvariantAuditor",
+    "MetricsCollector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NULL_TIMER",
+    "SimProfiler",
+    "ObservabilityConfig",
+    "OBSERVABILITY_OFF",
+    "RunObservability",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_SWEEP_SCHEMA",
+    "TELEMETRY_VERSION",
+    "DIGEST_FIELDS",
+    "build_run_telemetry",
+    "build_sweep_telemetry",
+    "read_telemetry",
+    "run_digest",
+    "write_telemetry",
+]

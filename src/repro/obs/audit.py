@@ -1,0 +1,332 @@
+"""Always-on invariant auditor: conservation laws checked from the trace.
+
+The auditor observes the live trace stream (or replays a finished trace)
+and maintains just enough state to assert the system's conservation laws:
+
+* **Lifecycle** — a workunit is created exactly once, is only assigned
+  while live, and every created unit reaches exactly one terminal fate
+  (validated-DONE, exhausted-ERROR, or cancelled).
+* **Exactly-once assimilation** — each validated result is granted credit
+  once and assimilated once, even across parameter-server crashes,
+  adoptions and restarts; pool merges never exceed server assimilations.
+* **Credit conservation** — the ledger's granted total equals the sum of
+  per-result grants seen in the trace, and only validated results earn.
+* **Version monotonicity** — published parameter versions strictly
+  increase (a regression here would resurrect the stale-tag bugs the
+  ``VersionedParams`` payload design eliminated).
+* **Epoch bracketing** — ``epoch.start``/``epoch.end`` nest like a
+  well-formed sequence of non-overlapping spans.
+
+The auditor is a *pure reader*: it never touches simulation state or
+randomness, so an audited run is bit-identical to a bare one (pinned by
+tests/core/test_determinism.py).  Violations are collected and raised as
+:class:`~repro.errors.InvariantViolation` at :meth:`verify` — or
+immediately, in ``strict`` mode.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import InvariantViolation
+from ..simulation.tracing import Trace, TraceRecord
+
+__all__ = ["AuditReport", "InvariantAuditor"]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a verification pass: what was checked, what failed."""
+
+    checks: int = 0
+    records_seen: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checks": self.checks,
+            "records_seen": self.records_seen,
+            "violations": list(self.violations),
+        }
+
+
+class InvariantAuditor:
+    """Online conservation-law checker over the trace event stream."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: list[str] = []
+        self.checks = 0
+        self.records_seen = 0
+        self.kind_counts: Counter[str] = Counter()
+        # Lifecycle state, keyed by workunit id.
+        self._created: dict[str, tuple[int, int]] = {}  # wu -> (epoch, shard)
+        self._valid: set[str] = set()  # server.result_valid seen
+        self._granted: dict[str, float] = {}  # wu -> credit amount
+        self._assimilated: set[str] = set()  # server.assimilated seen
+        self._pool_merged: set[str] = set()  # ps.assimilated seen
+        self._exhausted: set[str] = set()  # sched.exhausted (-> ERROR)
+        self._cancelled: set[str] = set()  # sched.cancelled
+        self._denials = 0
+        self._last_version: int | None = None
+        self._open_epoch: int | None = None
+        self._epochs_ended = 0
+
+    # -- Trace observer protocol ---------------------------------------
+    def on_record(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        self.kind_counts[record.kind] += 1
+        handler = getattr(self, "_audit_" + record.kind.replace(".", "_"), None)
+        if handler is not None:
+            handler(record)
+
+    def on_counter(self, kind: str, amount: int) -> None:
+        self.kind_counts[kind] += amount
+
+    def replay(self, trace: Trace) -> None:
+        """Feed an already-recorded trace through the online checks."""
+        for record in trace:
+            self.on_record(record)
+
+    # -- online checks --------------------------------------------------
+    def _check(self, condition: bool, message: str) -> None:
+        self.checks += 1
+        if not condition:
+            self.violations.append(message)
+            if self.strict:
+                raise InvariantViolation(message)
+
+    def _audit_sched_created(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(wu not in self._created, f"workunit {wu} created twice")
+        self._created[wu] = (r["epoch"], r["shard"])
+
+    def _audit_sched_assign(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(wu in self._created, f"assignment of unknown workunit {wu}")
+        self._check(
+            wu not in self._valid
+            and wu not in self._exhausted
+            and wu not in self._cancelled,
+            f"workunit {wu} assigned after reaching a terminal state",
+        )
+
+    def _audit_sched_exhausted(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(
+            wu not in self._valid, f"workunit {wu} exhausted after validation"
+        )
+        self._exhausted.add(wu)
+
+    def _audit_sched_cancelled(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(
+            wu not in self._valid, f"workunit {wu} cancelled after validation"
+        )
+        self._cancelled.add(wu)
+
+    def _audit_server_result_valid(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(wu in self._created, f"validated result for unknown workunit {wu}")
+        self._check(wu not in self._valid, f"workunit {wu} validated twice")
+        self._check(
+            wu not in self._exhausted and wu not in self._cancelled,
+            f"terminal workunit {wu} validated",
+        )
+        self._valid.add(wu)
+
+    def _audit_credit_grant(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(wu in self._valid, f"credit granted for unvalidated workunit {wu}")
+        self._check(wu not in self._granted, f"credit granted twice for workunit {wu}")
+        self._granted[wu] = float(r["amount"])
+
+    def _audit_credit_deny(self, r: TraceRecord) -> None:
+        self._denials += 1
+
+    def _audit_server_assimilated(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(wu in self._valid, f"unvalidated workunit {wu} assimilated")
+        self._check(wu not in self._assimilated, f"workunit {wu} assimilated twice")
+        self._assimilated.add(wu)
+
+    def _audit_ps_assimilated(self, r: TraceRecord) -> None:
+        wu = r["wu"]
+        self._check(
+            wu not in self._pool_merged, f"pool merged workunit {wu} twice"
+        )
+        self._pool_merged.add(wu)
+
+    def _audit_params_publish(self, r: TraceRecord) -> None:
+        version = r["version"]
+        self._check(
+            self._last_version is None or version > self._last_version,
+            f"publish version not monotone: {self._last_version} -> {version}",
+        )
+        self._last_version = version
+
+    def _audit_epoch_start(self, r: TraceRecord) -> None:
+        self._check(
+            self._open_epoch is None,
+            f"epoch {r['epoch']} started while epoch {self._open_epoch} is open",
+        )
+        self._open_epoch = r["epoch"]
+
+    def _audit_epoch_end(self, r: TraceRecord) -> None:
+        self._check(
+            self._open_epoch == r["epoch"],
+            f"epoch {r['epoch']} ended but open epoch is {self._open_epoch}",
+        )
+        self._open_epoch = None
+        self._epochs_ended += 1
+
+    # -- final verification ---------------------------------------------
+    def verify(
+        self, runner: Any = None, *, require_full_coverage: bool = False
+    ) -> AuditReport:
+        """End-of-run conservation pass; raises on any violation.
+
+        ``runner`` (a ``DistributedRunner``) enables the cross-checks
+        against ground truth the trace alone cannot see: scheduler state,
+        the credit ledger, and ``RunResult`` counters.
+        ``require_full_coverage`` additionally demands a DONE result for
+        every (epoch, shard) — true for the chaos soaks, but *not* an
+        invariant of fault-tolerant rules in general, which may finish an
+        epoch with permanently failed shards.
+        """
+        # Every validated result assimilated exactly once, and vice versa.
+        self._check(
+            self._valid == self._assimilated,
+            "validated/assimilated mismatch: "
+            f"unassimilated={sorted(self._valid - self._assimilated)} "
+            f"phantom={sorted(self._assimilated - self._valid)}",
+        )
+        # Credit: exactly the validated results earned, each once.
+        self._check(
+            set(self._granted) == self._valid,
+            "credit/validation mismatch: "
+            f"unpaid={sorted(self._valid - set(self._granted))} "
+            f"overpaid={sorted(set(self._granted) - self._valid)}",
+        )
+        # Pool merges are a subset of assimilations (equal without
+        # replication; with a quorum only the canonical replica merges).
+        self._check(
+            self._pool_merged <= self._assimilated,
+            "pool merged workunits never assimilated: "
+            f"{sorted(self._pool_merged - self._assimilated)}",
+        )
+        # Every created workunit reached exactly one terminal fate.
+        terminal = self._valid | self._exhausted | self._cancelled
+        self._check(
+            set(self._created) <= terminal,
+            f"non-terminal workunits: {sorted(set(self._created) - terminal)}",
+        )
+        self._check(
+            not (self._valid & self._exhausted)
+            and not (self._valid & self._cancelled),
+            "workunits with two terminal fates: "
+            f"{sorted((self._valid & self._exhausted) | (self._valid & self._cancelled))}",
+        )
+        # Epoch spans all closed.
+        self._check(
+            self._open_epoch is None,
+            f"epoch {self._open_epoch} never ended",
+        )
+        if runner is not None:
+            self._verify_against_runner(runner, require_full_coverage)
+        report = AuditReport(
+            checks=self.checks,
+            records_seen=self.records_seen,
+            violations=list(self.violations),
+        )
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s): "
+                + "; ".join(self.violations[:5])
+            )
+        return report
+
+    def _verify_against_runner(self, runner: Any, require_full_coverage: bool) -> None:
+        from ..boinc.workunit import WorkunitState
+
+        # Trace-derived fates agree with the scheduler's ground truth.
+        for wu_id, wu in sorted(runner.server.scheduler._workunits.items()):
+            expected = {
+                WorkunitState.DONE: self._valid,
+                WorkunitState.ERROR: self._exhausted,
+                WorkunitState.CANCELLED: self._cancelled,
+            }.get(wu.state)
+            self._check(
+                expected is not None,
+                f"workunit {wu_id} left non-terminal ({wu.state.name})",
+            )
+            if expected is not None:
+                self._check(
+                    wu_id in expected,
+                    f"workunit {wu_id} is {wu.state.name} in the scheduler "
+                    "but the trace disagrees",
+                )
+        # Credit ledger conserves the per-grant stream.
+        ledger_total = runner.server.credit.granted_total
+        trace_total = sum(self._granted.values())
+        self._check(
+            abs(ledger_total - trace_total) < 1e-9,
+            f"credit ledger total {ledger_total} != trace grants {trace_total}",
+        )
+        # RunResult counters agree with the trace record-for-record.
+        counters = runner.result.counters
+        if counters:
+            self._check(
+                counters["assimilations"] == len(self._pool_merged),
+                f"counters[assimilations]={counters['assimilations']} != "
+                f"{len(self._pool_merged)} pool merges in trace",
+            )
+            self._check(
+                counters["timeouts"] == self.kind_counts["sched.timeout"],
+                f"counters[timeouts]={counters['timeouts']} != "
+                f"{self.kind_counts['sched.timeout']} in trace",
+            )
+            for counter, kind in (
+                ("transfer_failures", "web.xfer_fail"),
+                ("transfer_retries", "net.retry"),
+                ("net_partition_blocks", "net.partition"),
+                ("ps_crashes", "ps.crash"),
+                ("ps_recoveries", "ps.recover"),
+                ("kv_outage_blocks", "kv.outage"),
+                ("kv_degraded_ops", "kv.degraded"),
+            ):
+                if counter in counters:
+                    self._check(
+                        counters[counter] == self.kind_counts[kind],
+                        f"counters[{counter}]={counters[counter]} != "
+                        f"{self.kind_counts[kind]} {kind} records in trace",
+                    )
+            if "transfer_retries" in counters:
+                # Every retried or abandoned transfer started as a failure.
+                self._check(
+                    counters["transfer_failures"] >= counters["transfer_retries"],
+                    "more transfer retries than failures",
+                )
+        if require_full_coverage:
+            done_by_epoch: dict[int, set[int]] = {}
+            for wu_id in self._valid:
+                epoch, shard = self._created[wu_id]
+                done_by_epoch.setdefault(epoch, set()).add(shard)
+            shards = set(range(runner.config.num_shards))
+            for epoch, got in sorted(done_by_epoch.items()):
+                self._check(
+                    got == shards,
+                    f"epoch {epoch} lost shards {sorted(shards - got)}",
+                )
+            self._check(
+                len(done_by_epoch) == self._epochs_ended,
+                f"{len(done_by_epoch)} epochs with DONE work but "
+                f"{self._epochs_ended} epoch.end records",
+            )

@@ -1,0 +1,354 @@
+"""Metrics primitives: counters, gauges, histograms, and sim-clock timers.
+
+The registry is the single container a run carries around; components
+obtain named instruments lazily (`get-or-create`) so instrumented code
+never has to pre-declare what it measures.  Design choices that the test
+layer leans on:
+
+* **Histograms keep every sample.**  Runs here are discrete-event
+  simulations with at most a few hundred thousand observations, so exact
+  storage is affordable — and it buys exact quantiles (bit-identical to
+  ``np.quantile``) and a merge operation that is plain concatenation,
+  hence associative.  Both properties are pinned by Hypothesis tests.
+* **Timers run on the simulated clock**, not wall-clock: they answer
+  "where does *simulated* time go", which is what the paper's Fig. 2
+  epoch-latency measurements are about.  Wall-clock attribution lives in
+  :mod:`repro.obs.profiler` instead.
+* **Timer nesting is an explicit stack** shared through the registry, so
+  a parent timer can report *exclusive* time (its total minus time spent
+  in nested child spans).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NULL_TIMER",
+]
+
+QUANTILE_POINTS = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """Monotonically increasing integer-ish counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar that also tracks its min/max envelope."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Exact-sample distribution: stores all observations.
+
+    Quantiles are computed with ``np.quantile`` over the raw samples, so
+    they match the NumPy reference by construction, and merging two
+    histograms is sample concatenation — associative and lossless.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str, samples: list[float] | None = None) -> None:
+        self.name = name
+        self._samples: list[float] = list(samples) if samples else []
+
+    # -- recording ------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            raise ObservabilityError(
+                f"histogram {self.name!r} rejects non-finite sample {value!r}"
+            )
+        self._samples.append(value)
+
+    # -- statistics -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._samples))
+
+    @property
+    def mean(self) -> float:
+        self._require_samples("mean")
+        return self.total / len(self._samples)
+
+    @property
+    def min(self) -> float:
+        self._require_samples("min")
+        return float(min(self._samples))
+
+    @property
+    def max(self) -> float:
+        self._require_samples("max")
+        return float(max(self._samples))
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile; matches ``np.quantile(samples, q)`` bit-for-bit."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        self._require_samples(f"quantile({q})")
+        return float(np.quantile(np.asarray(self._samples, dtype=np.float64), q))
+
+    def percentiles(self) -> dict[str, float]:
+        """The dashboard's standard trio: p50 / p95 / p99."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in QUANTILE_POINTS}
+
+    def samples(self) -> tuple[float, ...]:
+        """Immutable view of the raw observations, in insertion order."""
+        return tuple(self._samples)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Lossless combination of two histograms (sample concatenation)."""
+        return Histogram(self.name, self._samples + other._samples)
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self._samples:
+            return {"count": 0}
+        out: dict[str, Any] = {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        out.update(self.percentiles())
+        return out
+
+    def _require_samples(self, what: str) -> None:
+        if not self._samples:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no samples; {what} is undefined"
+            )
+
+
+class Timer:
+    """Named span timer on the registry's clock with nesting awareness.
+
+    ``start()``/``stop()`` must bracket like a stack (enforced — the
+    Hypothesis nesting tests rely on the error).  ``total_s`` is inclusive
+    time; ``exclusive_s`` subtracts time spent in spans nested inside this
+    one, so a set of sibling timers under one parent decomposes the
+    parent's total without double counting.
+    """
+
+    __slots__ = ("name", "count", "total_s", "exclusive_s", "_registry", "_durations")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.exclusive_s = 0.0
+        self._registry = registry
+        self._durations = Histogram(f"{name}.duration_s")
+
+    def start(self) -> None:
+        self._registry._push_span(self)
+
+    def stop(self) -> None:
+        self._registry._pop_span(self)
+
+    def time(self) -> "_TimerContext":
+        """``with timer.time(): ...`` sugar over start/stop."""
+        return _TimerContext(self)
+
+    def _record(self, inclusive_s: float, child_s: float) -> None:
+        self.count += 1
+        self.total_s += inclusive_s
+        self.exclusive_s += inclusive_s - child_s
+        self._durations.observe(inclusive_s)
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "total_s": self.total_s,
+            "exclusive_s": self.exclusive_s,
+        }
+        if self._durations.count:
+            out.update(self._durations.percentiles())
+        return out
+
+
+class _TimerContext:
+    __slots__ = ("_timer",)
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+
+    def __enter__(self) -> Timer:
+        self._timer.start()
+        return self._timer
+
+    def __exit__(self, *exc: Any) -> None:
+        self._timer.stop()
+
+
+class _NullTimer:
+    """Inert stand-in used when metrics are disabled; supports the full API."""
+
+    __slots__ = ()
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    def time(self) -> "_NullTimer":
+        return self
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+NULL_TIMER = _NullTimer()
+
+
+class _Span:
+    __slots__ = ("timer", "start", "child_s")
+
+    def __init__(self, timer: Timer, start: float) -> None:
+        self.timer = timer
+        self.start = start
+        self.child_s = 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create container for all instruments of one run.
+
+    A name identifies exactly one instrument; asking for the same name as
+    a different type is a programming error and raises.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._instruments: dict[str, Any] = {}
+        self._span_stack: list[_Span] = []
+
+    # -- get-or-create --------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = Timer(name, self)
+            self._instruments[name] = inst
+        elif not isinstance(inst, Timer):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def _get(self, name: str, cls: type) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    # -- timer span stack -----------------------------------------------
+    def _push_span(self, timer: Timer) -> None:
+        self._span_stack.append(_Span(timer, self._clock()))
+
+    def _pop_span(self, timer: Timer) -> None:
+        if not self._span_stack:
+            raise ObservabilityError(
+                f"timer {timer.name!r} stopped with no span running"
+            )
+        span = self._span_stack[-1]
+        if span.timer is not timer:
+            raise ObservabilityError(
+                f"timer misnesting: stopping {timer.name!r} while "
+                f"{span.timer.name!r} is the innermost span"
+            )
+        self._span_stack.pop()
+        inclusive = self._clock() - span.start
+        timer._record(inclusive, span.child_s)
+        if self._span_stack:
+            self._span_stack[-1].child_s += inclusive
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-data dump of every instrument, grouped by type, sorted."""
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timers": {},
+        }
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.snapshot()
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.snapshot()
+            elif isinstance(inst, Timer):
+                out["timers"][name] = inst.snapshot()
+            else:
+                out["histograms"][name] = inst.snapshot()
+        return out

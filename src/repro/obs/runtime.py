@@ -1,0 +1,72 @@
+"""Per-run observability wiring: config + the bundle a runner carries.
+
+``ObservabilityConfig`` decides which of the three observers exist;
+``RunObservability`` instantiates and attaches them to a run's trace and
+simulator.  The default is metrics + audit on (the "always-on invariant
+auditor" contract) with the wall-clock profiler off; ``OBSERVABILITY_OFF``
+disables everything, restoring the exact legacy dispatch paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..simulation.engine import Simulator
+from ..simulation.tracing import Trace
+from .audit import AuditReport, InvariantAuditor
+from .collector import MetricsCollector
+from .metrics import NULL_TIMER, MetricsRegistry, Timer
+from .profiler import SimProfiler
+
+__all__ = ["ObservabilityConfig", "OBSERVABILITY_OFF", "RunObservability"]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Which observers to attach to a run."""
+
+    metrics: bool = True
+    audit: bool = True
+    profile: bool = False
+    strict_audit: bool = False
+
+
+OBSERVABILITY_OFF = ObservabilityConfig(metrics=False, audit=False, profile=False)
+
+
+class RunObservability:
+    """The observability bundle one DistributedRunner owns."""
+
+    def __init__(
+        self, config: ObservabilityConfig, trace: Trace, sim: Simulator
+    ) -> None:
+        self.config = config
+        self.registry: MetricsRegistry | None = None
+        self.collector: MetricsCollector | None = None
+        self.auditor: InvariantAuditor | None = None
+        self.profiler: SimProfiler | None = None
+        self.report: AuditReport | None = None
+        if config.metrics:
+            self.registry = MetricsRegistry(clock=lambda: sim.now)
+            self.collector = MetricsCollector(self.registry)
+            trace.attach(self.collector)
+        if config.audit:
+            self.auditor = InvariantAuditor(strict=config.strict_audit)
+            trace.attach(self.auditor)
+        if config.profile:
+            self.profiler = SimProfiler()
+            sim.profiler = self.profiler
+
+    def timer(self, name: str) -> "Timer | Any":
+        """A named sim-clock timer, or an inert one when metrics are off."""
+        if self.registry is None:
+            return NULL_TIMER
+        return self.registry.timer(name)
+
+    def finalize(self, runner: Any, *, require_full_coverage: bool = False) -> None:
+        """End-of-run audit pass; raises InvariantViolation on failure."""
+        if self.auditor is not None:
+            self.report = self.auditor.verify(
+                runner, require_full_coverage=require_full_coverage
+            )

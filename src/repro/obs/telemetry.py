@@ -1,0 +1,146 @@
+"""Schema-versioned run telemetry: export, digest, and round-trip.
+
+One JSON document per run, written by ``repro run --metrics-out`` (and
+per sweep point by ``repro sweep --metrics-out``).  The document carries
+everything the analysis layer needs to reproduce the paper's timing
+figures without re-running the simulation: per-epoch records, final
+counters, the trace counter summary, metric snapshots, the audit report
+and (optionally) the wall-clock profile.
+
+The **digest** is a BLAKE2b hash over the canonical JSON form of the
+*deterministic core* of the document — label, stop reason, epochs,
+counters, trace summary.  The observability sections (metrics, audit,
+profile) are deliberately excluded: the digest must be identical whether
+or not the auditor/profiler were attached, which is exactly what the
+determinism regression test asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_SWEEP_SCHEMA",
+    "TELEMETRY_VERSION",
+    "DIGEST_FIELDS",
+    "run_digest",
+    "build_run_telemetry",
+    "build_sweep_telemetry",
+    "write_telemetry",
+    "read_telemetry",
+]
+
+TELEMETRY_SCHEMA = "repro.telemetry"
+TELEMETRY_SWEEP_SCHEMA = "repro.telemetry.sweep"
+TELEMETRY_VERSION = 1
+
+# The digest covers only these top-level keys — the deterministic core of
+# a run.  Observability sections stay out so attaching the auditor or the
+# profiler cannot change the digest.
+DIGEST_FIELDS = (
+    "schema",
+    "schema_version",
+    "label",
+    "seed",
+    "stopped_reason",
+    "total_time_s",
+    "config",
+    "epochs",
+    "counters",
+    "trace_summary",
+)
+
+
+def run_digest(payload: dict[str, Any]) -> str:
+    """BLAKE2b digest of the canonical JSON form of the deterministic core."""
+    core = {key: payload[key] for key in DIGEST_FIELDS if key in payload}
+    canonical = json.dumps(core, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def build_run_telemetry(runner: Any) -> dict[str, Any]:
+    """Assemble the telemetry document for a finished DistributedRunner."""
+    config = runner.config
+    result = runner.result
+    obs = runner.obs
+    payload: dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "schema_version": TELEMETRY_VERSION,
+        "label": result.label,
+        "seed": config.seed,
+        "stopped_reason": result.stopped_reason,
+        "total_time_s": result.total_time_s,
+        "config": {
+            "experiment": config.label,
+            "num_param_servers": config.num_param_servers,
+            "num_clients": config.num_clients,
+            "max_concurrent_subtasks": config.max_concurrent_subtasks,
+            "num_shards": config.num_shards,
+            "max_epochs": config.max_epochs,
+            "store_kind": config.store_kind,
+            "replicas": config.replicas,
+            "rule": runner.rule.describe(),
+        },
+        "epochs": [record.to_dict() for record in result.epochs],
+        "counters": dict(result.counters),
+        "trace_summary": runner.trace.summary(),
+        "metrics": obs.registry.snapshot() if obs.registry is not None else None,
+        "audit": obs.report.to_dict() if obs.report is not None else None,
+        "profile": (
+            obs.profiler.report() if obs.profiler is not None else None
+        ),
+    }
+    payload["digest"] = run_digest(payload)
+    return payload
+
+
+def build_sweep_telemetry(runs: list[dict[str, Any]]) -> dict[str, Any]:
+    """Bundle per-point run telemetry into one sweep document."""
+    return {
+        "schema": TELEMETRY_SWEEP_SCHEMA,
+        "schema_version": TELEMETRY_VERSION,
+        "runs": runs,
+    }
+
+
+def write_telemetry(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a telemetry document (or a list of them) as pretty JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_telemetry(path: str | Path) -> dict[str, Any]:
+    """Load and validate one telemetry document.
+
+    Checks the schema tag, the version, and that the stored digest still
+    matches the deterministic core — catching both hand-edits and
+    schema-drift between writer and reader.
+    """
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema not in (TELEMETRY_SCHEMA, TELEMETRY_SWEEP_SCHEMA):
+        raise ObservabilityError(
+            f"{path}: not a telemetry document (schema={schema!r})"
+        )
+    if payload.get("schema_version") != TELEMETRY_VERSION:
+        raise ObservabilityError(
+            f"{path}: telemetry schema version {payload.get('schema_version')!r} "
+            f"unsupported (expected {TELEMETRY_VERSION})"
+        )
+    documents = payload["runs"] if schema == TELEMETRY_SWEEP_SCHEMA else [payload]
+    for document in documents:
+        expected = document.get("digest")
+        actual = run_digest(document)
+        if expected != actual:
+            raise ObservabilityError(
+                f"{path}: digest mismatch for {document.get('label')!r} "
+                f"(stored {expected!r}, computed {actual!r})"
+            )
+    return payload

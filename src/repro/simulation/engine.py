@@ -28,6 +28,11 @@ class Simulator:
         self.now: float = 0.0
         self.events_processed: int = 0
         self._running = False
+        # Optional observability hook (see ``repro.obs.profiler``): when
+        # set, every event dispatch is routed through it so wall-clock can
+        # be attributed to event labels.  ``None`` keeps the dispatch path
+        # identical to the un-instrumented engine.
+        self.profiler = None
 
     # -- scheduling -----------------------------------------------------
     def schedule(
@@ -75,7 +80,10 @@ class Simulator:
                     )
                 handle = self._queue.pop()
                 self.now = handle.time
-                handle.callback()
+                if self.profiler is None:
+                    handle.callback()
+                else:
+                    self.profiler.run_event(handle.label, handle.callback)
                 processed += 1
                 self.events_processed += 1
             if until is not None and until > self.now:
@@ -89,7 +97,10 @@ class Simulator:
             return False
         handle = self._queue.pop()
         self.now = handle.time
-        handle.callback()
+        if self.profiler is None:
+            handle.callback()
+        else:
+            self.profiler.run_event(handle.label, handle.callback)
         self.events_processed += 1
         return True
 

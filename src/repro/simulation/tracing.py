@@ -34,20 +34,46 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only event log with query helpers."""
+    """Append-only event log with query helpers.
+
+    Observers attached via :meth:`attach` see every record (and counter
+    bump) as it happens — the hook behind ``repro.obs``'s metrics
+    collector and invariant auditor.  The hot path stays allocation-free
+    when nobody is listening: a single truthiness check on an empty list.
+    Observers must be pure readers; mutating simulation state or drawing
+    randomness from inside one would break bit-exact reproducibility.
+    """
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
         self.counters: Counter[str] = Counter()
+        self._observers: list[Any] = []
+
+    def attach(self, observer: Any) -> None:
+        """Subscribe ``observer`` (``on_record(rec)`` / ``on_counter(kind, n)``)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def detach(self, observer: Any) -> None:
+        """Unsubscribe a previously attached observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an event at simulated ``time``."""
-        self._records.append(TraceRecord(time, kind, fields))
+        record = TraceRecord(time, kind, fields)
+        self._records.append(record)
         self.counters[kind] += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_record(record)
 
     def incr(self, counter: str, amount: int = 1) -> None:
         """Bump a counter without storing a record (cheap hot-path stats)."""
         self.counters[counter] += amount
+        if self._observers:
+            for observer in self._observers:
+                observer.on_counter(counter, amount)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -77,11 +103,17 @@ class Trace:
                 return record
         return None
 
-    def summary(self, prefix: str | None = None) -> dict[str, int]:
+    def summary(
+        self, prefix: str | tuple[str, ...] | None = None
+    ) -> dict[str, int]:
         """Counter snapshot (kind -> count), sorted by kind.
 
         ``prefix`` restricts the snapshot to one subsystem's kinds, e.g.
-        ``summary("ps.")`` or ``summary("net.")`` for the chaos layers.
+        ``summary("ps.")`` or ``summary("net.")`` for the chaos layers; a
+        tuple selects several subsystems at once.  The filter covers
+        *every* counter — records emitted via :meth:`emit` and bare
+        :meth:`incr` bumps alike (the chaos layers lean on the latter),
+        since both live in the same ``counters`` table.
         """
         items = sorted(self.counters.items())
         if prefix is not None:

@@ -69,10 +69,18 @@ class TestDownloadApiSplit:
 
     def test_peek_payloads_charges_nothing(self, sim, catalog, link):
         web = make_web(sim, catalog)
+        web.peek_enabled = True  # test-only flag
         payloads = web.peek_payloads(["model", "shard-00"])
         assert payloads["model"] == "spec"
         assert web.bytes_down == 0
         assert sim.pending() == 0  # no simulated transfer scheduled
+
+    def test_peek_payloads_guarded_by_default(self, sim, catalog, link):
+        from repro.errors import SimulationError
+
+        web = make_web(sim, catalog)
+        with pytest.raises(SimulationError):
+            web.peek_payloads(["model"])
 
 
 class TestFaultInjection:

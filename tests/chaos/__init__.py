@@ -1,21 +1,15 @@
 """Chaos soak harness: seeded fault plans + conservation invariants.
 
 Shared by the tier-1 soak test in this package and the heavier
-``benchmarks/test_chaos_soak.py`` run.
+``benchmarks/test_chaos_soak.py`` run.  The invariant checks themselves
+now live in :class:`repro.obs.audit.InvariantAuditor`; this package
+keeps only the replay wrapper and the plan builder.
 """
 
-from ._invariants import (
-    assert_chaos_invariants,
-    assert_counters_conserved,
-    assert_exactly_once_assimilation,
-    assert_no_lost_workunits,
-    seeded_plan,
-)
+from ._invariants import assert_chaos_invariants, audit_runner, seeded_plan
 
 __all__ = [
     "assert_chaos_invariants",
-    "assert_counters_conserved",
-    "assert_exactly_once_assimilation",
-    "assert_no_lost_workunits",
+    "audit_runner",
     "seeded_plan",
 ]

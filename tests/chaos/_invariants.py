@@ -10,15 +10,19 @@ The invariants are the soak harness's definition of "nothing broke":
 * **Counters conserved** — the counters reported in ``RunResult`` agree
   with the trace, so no event was dropped or double-counted on either
   path.
+
+The hand-rolled checks that used to live here are now the core of
+:class:`repro.obs.audit.InvariantAuditor` (which every run already
+carries via ``runner.obs``); this module just replays the trace through
+a fresh auditor and asks for the strict, full-coverage verdict that the
+soak tests need.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
 import numpy as np
 
-from repro.boinc import WorkunitState
+from repro.obs import InvariantAuditor
 from repro.simulation.chaos import (
     ChaosPlan,
     PartitionWindow,
@@ -28,61 +32,33 @@ from repro.simulation.chaos import (
 )
 
 
-def assert_no_lost_workunits(runner) -> None:
-    """Every workunit terminal; every (epoch, shard) completed by someone."""
-    wus = runner.server.scheduler._workunits  # test-only peek
-    stuck = [wu.wu_id for wu in wus.values() if not wu.is_terminal]
-    assert not stuck, f"non-terminal workunits after run: {stuck}"
+def audit_runner(runner, *, require_full_coverage: bool = True):
+    """Replay the runner's trace through a fresh auditor; return the report.
 
-    done_by_epoch: dict[int, set[int]] = {}
-    for wu in wus.values():
-        if wu.state is WorkunitState.DONE:
-            done_by_epoch.setdefault(wu.epoch, set()).add(wu.shard_index)
-    shards = set(range(runner.config.num_shards))
-    for epoch, got in sorted(done_by_epoch.items()):
-        assert got == shards, f"epoch {epoch} lost shards {sorted(shards - got)}"
-    assert len(done_by_epoch) == len(runner.result.epochs)
-
-
-def assert_exactly_once_assimilation(runner) -> None:
-    """Each DONE workunit assimilated exactly once — crashes may re-run
-    work (abort + requeue) but must never double-apply an update."""
-    assimilated = [r["wu"] for r in runner.trace.of_kind("server.assimilated")]
-    dupes = sorted(wu for wu, n in Counter(assimilated).items() if n > 1)
-    assert not dupes, f"double-assimilated workunits: {dupes}"
-
-    wus = runner.server.scheduler._workunits
-    done = {wu.wu_id for wu in wus.values() if wu.state is WorkunitState.DONE}
-    assert set(assimilated) == done, (
-        f"assimilation set != DONE set: "
-        f"missing={sorted(done - set(assimilated))} "
-        f"extra={sorted(set(assimilated) - done)}"
-    )
-
-
-def assert_counters_conserved(runner) -> None:
-    """RunResult counters agree with the trace record-for-record."""
-    c = runner.result.counters
-    trace = runner.trace
-    assert c["assimilations"] == trace.count("server.assimilated")
-    assert c["timeouts"] == trace.count("sched.timeout")
-    if "transfer_failures" in c:  # chaos counters present iff plan active
-        assert c["transfer_failures"] == trace.count("web.xfer_fail")
-        assert c["transfer_retries"] == trace.count("net.retry")
-        assert c["net_partition_blocks"] == trace.count("net.partition")
-        assert c["ps_crashes"] == trace.count("ps.crash")
-        assert c["ps_recoveries"] == trace.count("ps.recover")
-        assert c["kv_outage_blocks"] == trace.count("kv.outage")
-        assert c["kv_degraded_ops"] == trace.count("kv.degraded")
-        # Every retried or abandoned transfer started as a failed one.
-        assert c["transfer_failures"] >= c["transfer_retries"]
+    Raises :class:`repro.errors.InvariantViolation` on any conservation
+    failure.  Full (epoch, shard) coverage is demanded by default because
+    the chaos soaks run the default VC-ASGD pipeline, where every epoch
+    must complete every shard.
+    """
+    auditor = InvariantAuditor()
+    auditor.replay(runner.trace)
+    return auditor.verify(runner, require_full_coverage=require_full_coverage)
 
 
 def assert_chaos_invariants(runner) -> None:
-    """All three soak invariants on a completed DistributedRunner."""
-    assert_no_lost_workunits(runner)
-    assert_exactly_once_assimilation(runner)
-    assert_counters_conserved(runner)
+    """All soak invariants on a completed DistributedRunner.
+
+    Runs the replayed audit *and* cross-checks it against the always-on
+    auditor the runner carried during the run: both must be clean and
+    must have seen the same trace.
+    """
+    report = audit_runner(runner)
+    assert report.ok, report.violations
+
+    live = runner.obs.report
+    if live is not None:  # auditor was attached during the run (the default)
+        assert live.ok, live.violations
+        assert live.records_seen == report.records_seen
 
 
 def seeded_plan(

@@ -1,0 +1,162 @@
+"""Invariant auditor: synthetic trace streams, corruption, and live runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.errors import InvariantViolation
+from repro.obs import InvariantAuditor, ObservabilityConfig
+from repro.simulation.tracing import Trace
+
+from ..core.test_runner import tiny_config
+
+
+def clean_trace() -> Trace:
+    """A minimal well-formed lifecycle: two workunits through one epoch."""
+    t = Trace()
+    t.emit(0.0, "epoch.start", epoch=1)
+    for i, wu in enumerate(("wu-a", "wu-b")):
+        t.emit(0.0, "sched.created", wu=wu, epoch=1, shard=i)
+        t.emit(1.0, "sched.assign", wu=wu, host="h1")
+        t.emit(2.0, "server.result_valid", wu=wu, host="h1")
+        t.emit(2.0, "credit.grant", wu=wu, host="h1", amount=1.5)
+        t.emit(2.0, "server.assimilated", wu=wu)
+        t.emit(3.0, "ps.assimilated", wu=wu, service=1.0)
+    t.emit(3.0, "params.publish", version=1)
+    t.emit(4.0, "params.publish", version=2)
+    t.emit(4.0, "epoch.end", epoch=1, accuracy=0.5)
+    return t
+
+
+def replayed(trace: Trace) -> InvariantAuditor:
+    auditor = InvariantAuditor()
+    auditor.replay(trace)
+    return auditor
+
+
+class TestCleanStream:
+    def test_clean_trace_verifies(self):
+        auditor = replayed(clean_trace())
+        report = auditor.verify()
+        assert report.ok
+        assert report.violations == []
+        assert report.records_seen == len(clean_trace())
+        assert report.checks > 0
+        assert report.to_dict()["ok"] is True
+
+    def test_exhausted_workunit_is_a_valid_terminal_fate(self):
+        t = clean_trace()
+        t.emit(5.0, "epoch.start", epoch=2)
+        t.emit(5.0, "sched.created", wu="wu-c", epoch=2, shard=0)
+        t.emit(6.0, "sched.exhausted", wu="wu-c", via="timeout")
+        t.emit(7.0, "epoch.end", epoch=2)
+        assert replayed(t).verify().ok
+
+    def test_counter_bumps_are_observed(self):
+        t = Trace()
+        auditor = InvariantAuditor()
+        t.attach(auditor)
+        t.incr("cpu.busy", 3)
+        assert auditor.kind_counts["cpu.busy"] == 3
+
+
+class TestCorruptedStreams:
+    def assert_violation(self, trace: Trace, match: str):
+        auditor = replayed(trace)
+        with pytest.raises(InvariantViolation, match=match):
+            auditor.verify()
+        assert not auditor.violations == []
+
+    def test_double_creation(self):
+        t = clean_trace()
+        t.emit(9.0, "sched.created", wu="wu-a", epoch=1, shard=0)
+        self.assert_violation(t, "created twice")
+
+    def test_assignment_after_terminal(self):
+        t = clean_trace()
+        t.emit(9.0, "sched.assign", wu="wu-a", host="h2")
+        self.assert_violation(t, "terminal state")
+
+    def test_double_validation(self):
+        t = clean_trace()
+        t.emit(9.0, "server.result_valid", wu="wu-a", host="h2")
+        self.assert_violation(t, "validated twice")
+
+    def test_double_assimilation(self):
+        t = clean_trace()
+        t.emit(9.0, "server.assimilated", wu="wu-a")
+        self.assert_violation(t, "assimilated twice")
+
+    def test_unvalidated_assimilation(self):
+        t = clean_trace()
+        t.emit(9.0, "sched.created", wu="wu-x", epoch=1, shard=2)
+        t.emit(9.5, "server.assimilated", wu="wu-x")
+        self.assert_violation(t, "unvalidated")
+
+    def test_credit_without_validation(self):
+        t = clean_trace()
+        t.emit(9.0, "sched.created", wu="wu-x", epoch=1, shard=2)
+        t.emit(9.5, "credit.grant", wu="wu-x", host="h1", amount=1.0)
+        self.assert_violation(t, "unvalidated")
+
+    def test_validated_but_never_assimilated(self):
+        t = clean_trace()
+        t.emit(9.0, "sched.created", wu="wu-x", epoch=1, shard=2)
+        t.emit(9.5, "server.result_valid", wu="wu-x", host="h1")
+        t.emit(9.5, "credit.grant", wu="wu-x", host="h1", amount=1.0)
+        self.assert_violation(t, "unassimilated")
+
+    def test_version_regression(self):
+        t = clean_trace()
+        t.emit(9.0, "params.publish", version=1)
+        self.assert_violation(t, "not monotone")
+
+    def test_unclosed_epoch(self):
+        t = clean_trace()
+        t.emit(9.0, "epoch.start", epoch=2)
+        self.assert_violation(t, "never ended")
+
+    def test_overlapping_epochs(self):
+        t = Trace()
+        t.emit(0.0, "epoch.start", epoch=1)
+        t.emit(1.0, "epoch.start", epoch=2)
+        t.emit(2.0, "epoch.end", epoch=2)
+        t.emit(2.0, "epoch.end", epoch=1)
+        auditor = replayed(t)
+        with pytest.raises(InvariantViolation):
+            auditor.verify()
+
+    def test_strict_mode_raises_at_the_record(self):
+        t = Trace()
+        auditor = InvariantAuditor(strict=True)
+        t.attach(auditor)
+        t.emit(0.0, "sched.created", wu="wu-a", epoch=1, shard=0)
+        with pytest.raises(InvariantViolation, match="created twice"):
+            t.emit(1.0, "sched.created", wu="wu-a", epoch=1, shard=0)
+
+
+class TestLiveRun:
+    def test_default_run_carries_a_clean_report(self):
+        runner = DistributedRunner(tiny_config())
+        runner.run()
+        report = runner.obs.report
+        assert report is not None and report.ok
+        assert report.records_seen == len(runner.trace)
+        assert report.checks > 100  # the auditor actually looked at things
+
+    def test_replay_matches_live_observation(self):
+        runner = DistributedRunner(tiny_config())
+        runner.run()
+        fresh = InvariantAuditor()
+        fresh.replay(runner.trace)
+        report = fresh.verify(runner, require_full_coverage=True)
+        assert report.ok
+        assert report.records_seen == runner.obs.report.records_seen
+
+    def test_strict_live_auditor_stays_silent_on_a_healthy_run(self):
+        runner = DistributedRunner(
+            tiny_config(), observability=ObservabilityConfig(strict_audit=True)
+        )
+        runner.run()
+        assert runner.obs.report.ok

@@ -1,0 +1,184 @@
+"""Unit tests for the metrics primitives and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_TIMER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.incr()
+        c.incr(4)
+        assert c.value == 5
+        assert c.snapshot() == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            Counter("x").incr(-1)
+
+
+class TestGauge:
+    def test_tracks_envelope(self):
+        g = Gauge("x")
+        assert g.value is None and g.updates == 0
+        for v in (3.0, -1.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.min == -1.0 and g.max == 3.0
+        assert g.updates == 3
+        snap = g.snapshot()
+        assert snap == {"value": 2.0, "min": -1.0, "max": 3.0, "updates": 3}
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.samples() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_quantiles_match_numpy(self):
+        data = [0.3, 7.1, 2.2, 9.9, 4.4, 1.1]
+        h = Histogram("lat", data)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == float(np.quantile(data, q))
+        pcts = h.percentiles()
+        assert set(pcts) == {"p50", "p95", "p99"}
+
+    def test_empty_histogram_stats_undefined(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.snapshot() == {"count": 0}
+        for stat in ("mean", "min", "max"):
+            with pytest.raises(ObservabilityError, match="no samples"):
+                getattr(h, stat)
+        with pytest.raises(ObservabilityError, match="no samples"):
+            h.quantile(0.5)
+
+    def test_rejects_bad_inputs(self):
+        h = Histogram("lat", [1.0])
+        with pytest.raises(ObservabilityError, match="non-finite"):
+            h.observe(math.nan)
+        with pytest.raises(ObservabilityError, match="non-finite"):
+            h.observe(math.inf)
+        with pytest.raises(ObservabilityError, match="outside"):
+            h.quantile(1.5)
+
+    def test_merge_concatenates(self):
+        a = Histogram("lat", [1.0, 2.0])
+        b = Histogram("lat", [3.0])
+        merged = a.merge(b)
+        assert merged.samples() == (1.0, 2.0, 3.0)
+        # merge is non-destructive
+        assert a.count == 2 and b.count == 1
+
+
+class TestTimerNesting:
+    def make(self):
+        clock = {"now": 0.0}
+        reg = MetricsRegistry(clock=lambda: clock["now"])
+        return clock, reg
+
+    def test_flat_span(self):
+        clock, reg = self.make()
+        t = reg.timer("work")
+        t.start()
+        clock["now"] = 5.0
+        t.stop()
+        assert t.count == 1
+        assert t.total_s == 5.0
+        assert t.exclusive_s == 5.0
+
+    def test_nested_spans_decompose_parent(self):
+        clock, reg = self.make()
+        parent, child = reg.timer("parent"), reg.timer("child")
+        parent.start()
+        clock["now"] = 1.0
+        child.start()
+        clock["now"] = 4.0
+        child.stop()
+        clock["now"] = 6.0
+        parent.stop()
+        assert child.total_s == 3.0 and child.exclusive_s == 3.0
+        assert parent.total_s == 6.0
+        assert parent.exclusive_s == 3.0  # 6 inclusive minus 3 in the child
+
+    def test_context_manager(self):
+        clock, reg = self.make()
+        with reg.timer("work").time():
+            clock["now"] = 2.0
+        assert reg.timer("work").total_s == 2.0
+
+    def test_stop_without_start_raises(self):
+        _, reg = self.make()
+        with pytest.raises(ObservabilityError, match="no span running"):
+            reg.timer("work").stop()
+
+    def test_misnested_stop_raises(self):
+        _, reg = self.make()
+        a, b = reg.timer("a"), reg.timer("b")
+        a.start()
+        b.start()
+        with pytest.raises(ObservabilityError, match="misnesting"):
+            a.stop()
+
+    def test_null_timer_is_inert(self):
+        NULL_TIMER.start()
+        NULL_TIMER.stop()
+        with NULL_TIMER.time():
+            pass
+        with NULL_TIMER:
+            pass
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert isinstance(reg.timer("t"), Timer)
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_name_collision_across_types_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.histogram("x")
+        reg.timer("t")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.counter("t")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.timer("x")
+
+    def test_snapshot_groups_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("b").incr(2)
+        reg.counter("a").incr()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms", "timers"]
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1

@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the metrics primitives.
+
+The ISSUE pins three algebraic properties the dashboard and the
+telemetry export depend on:
+
+* histogram quantiles are *exactly* ``np.quantile`` over the raw
+  samples (the exact-sample design buys this by construction);
+* histogram merge is associative (it is sample concatenation);
+* a nest of timers decomposes: a parent's exclusive time equals its
+  inclusive time minus its direct children's inclusive time, and
+  sibling leaves never double count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.telemetry import run_digest
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite, min_size=1, max_size=60)
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples=sample_lists, q=st.floats(min_value=0.0, max_value=1.0))
+def test_property_quantile_matches_numpy(samples, q):
+    h = Histogram("h", samples)
+    expected = float(np.quantile(np.asarray(samples, dtype=np.float64), q))
+    assert h.quantile(q) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(finite, max_size=20),
+    b=st.lists(finite, max_size=20),
+    c=st.lists(finite, max_size=20),
+)
+def test_property_merge_associative(a, b, c):
+    ha, hb, hc = Histogram("h", a), Histogram("h", b), Histogram("h", c)
+    left = ha.merge(hb).merge(hc)
+    right = ha.merge(hb.merge(hc))
+    assert left.samples() == right.samples()
+    if left.count:
+        assert left.quantile(0.5) == right.quantile(0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(finite, min_size=1, max_size=20),
+    b=st.lists(finite, min_size=1, max_size=20),
+)
+def test_property_merge_stats_match_pooled_samples(a, b):
+    merged = Histogram("h", a).merge(Histogram("h", b))
+    pooled = a + b
+    assert merged.count == len(pooled)
+    assert merged.min == min(pooled)
+    assert merged.max == max(pooled)
+    assert merged.quantile(0.95) == float(np.quantile(pooled, 0.95))
+
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=0, max_size=8
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gaps=durations, child_spans=durations)
+def test_property_timer_nesting_decomposes(gaps, child_spans):
+    """parent.exclusive == parent.total - sum(child totals), exactly.
+
+    The parent runs one span; children run back-to-back inside it with
+    arbitrary idle gaps between them.  Exact float equality holds because
+    the implementation computes exclusive time by subtracting the same
+    accumulated child sum it hands to the parent span.
+    """
+    clock = {"now": 0.0}
+    reg = MetricsRegistry(clock=lambda: clock["now"])
+    parent = reg.timer("parent")
+    child = reg.timer("child")
+    parent.start()
+    for gap, span in zip(gaps, child_spans):
+        clock["now"] += gap
+        child.start()
+        clock["now"] += span
+        child.stop()
+    clock["now"] += 1.0
+    parent.stop()
+    assert parent.count == 1
+    assert parent.exclusive_s == parent.total_s - child.total_s
+    assert child.exclusive_s == child.total_s  # leaves keep all their time
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["label", "counters", "epochs", "seed", "config"]),
+        st.integers(min_value=0, max_value=10),
+        min_size=1,
+    )
+)
+def test_property_digest_ignores_key_order(core):
+    """The digest is canonical: insertion order of the dict never matters."""
+    reversed_core = dict(reversed(list(core.items())))
+    assert run_digest(core) == run_digest(reversed_core)
