@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError, SchedulerError, SimulationError
+from ..nn.serialization import compressed_size
 from ..simulation.chaos import PartitionSchedule, TransferFaultPlan
 from ..simulation.engine import Simulator
 from ..simulation.network import NetworkLink
@@ -41,12 +42,19 @@ class ServerFile:
     understands); ``raw_size``/``compressed_size`` drive the transfer
     model; ``sticky`` marks it cacheable on clients; ``compressible``
     says whether the server serves the compressed representation.
+
+    ``compressed_size`` may be :data:`ServerFile.AUTO`, in which case the
+    catalogue measures the payload's real zlib size exactly once at
+    registration (memoised by content, so republishing an identical
+    payload never re-compresses).
     """
+
+    AUTO = "auto"
 
     name: str
     payload: object
     raw_size: int
-    compressed_size: int | None = None
+    compressed_size: int | str | None = None
     sticky: bool = False
     compressible: bool = True
 
@@ -59,6 +67,11 @@ class ServerFile:
     def wire_size(self, compression_enabled: bool) -> int:
         """Bytes actually sent over the network for one download."""
         if compression_enabled and self.compressible:
+            if self.compressed_size == self.AUTO:
+                raise SimulationError(
+                    f"file {self.name!r} has an unresolved AUTO compressed "
+                    "size; publish it through a FileCatalog first"
+                )
             return int(self.compressed_size)
         return self.raw_size
 
@@ -70,8 +83,27 @@ class FileCatalog:
         self._files: dict[str, ServerFile] = {}
 
     def publish(self, file: ServerFile) -> None:
-        """Add or replace a file (parameter files are republished every update)."""
+        """Add or replace a file (parameter files are republished every update).
+
+        AUTO compressed sizes are resolved here, once per registration —
+        the catalogue is the single place every served file passes
+        through, so later ``wire_size`` queries are pure lookups.
+        """
+        if file.compressed_size == ServerFile.AUTO:
+            file.compressed_size = self._measure_compressed(file)
         self._files[file.name] = file
+
+    @staticmethod
+    def _measure_compressed(file: ServerFile) -> int:
+        """Real (memoised) zlib size of a measurable payload, capped at
+        ``raw_size`` — an incompressible payload never costs more on the
+        wire than its raw form (the server would skip compression)."""
+        payload = file.payload
+        if isinstance(payload, str):
+            payload = payload.encode()
+        if isinstance(payload, (bytes, np.ndarray)):
+            return min(compressed_size(payload), file.raw_size)
+        return file.raw_size
 
     def get(self, name: str) -> ServerFile:
         """Look up a published file; raises SchedulerError if absent."""

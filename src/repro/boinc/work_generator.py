@@ -9,6 +9,9 @@ parameter file (not sticky — refreshed every assimilation).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from ..data.dataset import Dataset
@@ -19,6 +22,37 @@ from .replication import replica_id
 from .workunit import Workunit
 
 __all__ = ["WorkGenerator"]
+
+# Shard files are serialized purely to *measure* them (the catalogue ships
+# the Dataset object itself; only the byte counts feed the transfer model).
+# The npz encode — especially the deflate pass — costs tens of ms per
+# shard and every sweep point re-creates an identical sharding, so sizes
+# are memoised by shard content.
+_SHARD_SIZE_CACHE: "OrderedDict[tuple[bytes, bool], int]" = OrderedDict()
+_SHARD_SIZE_CACHE_MAX = 512
+
+
+def _shard_digest(shard: Dataset) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(shard.name.encode())
+    for arr in (shard.x, shard.y):
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
+def _shard_nbytes(shard: Dataset, digest: bytes, compress: bool) -> int:
+    key = (digest, compress)
+    cached = _SHARD_SIZE_CACHE.get(key)
+    if cached is not None:
+        _SHARD_SIZE_CACHE.move_to_end(key)
+        return cached
+    size = len(shard.to_bytes(compress=compress))
+    _SHARD_SIZE_CACHE[key] = size
+    while len(_SHARD_SIZE_CACHE) > _SHARD_SIZE_CACHE_MAX:
+        _SHARD_SIZE_CACHE.popitem(last=False)
+    return size
 
 
 class WorkGenerator:
@@ -62,19 +96,24 @@ class WorkGenerator:
                 name=self.model_file_name,
                 payload=model_spec_json,
                 raw_size=len(spec_bytes),
-                compressed_size=max(1, len(spec_bytes) // 3),
+                compressed_size=ServerFile.AUTO,
                 sticky=True,
             )
         )
         for shard in self.shards:
-            raw = shard.to_bytes(compress=False)
-            compressed = shard.to_bytes(compress=True) if compress_shards else raw
+            digest = _shard_digest(shard)
+            raw = _shard_nbytes(shard, digest, compress=False)
+            compressed = (
+                _shard_nbytes(shard, digest, compress=True)
+                if compress_shards
+                else raw
+            )
             self.catalog.publish(
                 ServerFile(
                     name=f"{self.job_id}:{shard.name}",
                     payload=shard,
-                    raw_size=len(raw),
-                    compressed_size=len(compressed),
+                    raw_size=raw,
+                    compressed_size=compressed,
                     sticky=True,
                 )
             )

@@ -257,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--seed", type=int, default=1234)
     sweep_p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points in N worker processes (runs are independent "
+        "and deterministic, so results are identical to a serial sweep)",
+    )
+    sweep_p.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
@@ -487,10 +496,12 @@ def _cmd_alpha_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .core import Sweep
+    from .core import Sweep, SweepPoint
+    from .core.parallel import run_configs
 
     schedule = _parse_alpha(args.alpha)
     rule_tokens = [token.strip() for token in args.rule.split(",") if token.strip()]
+    jobs = max(1, args.jobs)
     base = TrainingJobConfig(
         max_epochs=args.epochs,
         num_shards=args.shards,
@@ -504,7 +515,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     telemetry_runs: list[dict] = []
-    if args.metrics_out:
+    if args.metrics_out and jobs == 1:
         # Swap in a runner that keeps the DistributedRunner long enough to
         # export its telemetry; every sweep point runs with the auditor on.
         def traced_runner(config: TrainingJobConfig) -> RunResult:
@@ -530,7 +541,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
         )
     print(f"running {sweep.size} configurations ...")
-    sweep.run(progress=lambda p: print(f"  done: {p.label()}"))
+    if jobs > 1:
+        # Parallel path: fan the grid out over worker processes, carrying
+        # each run's telemetry back so --metrics-out still works.
+        pairs = sweep.configs()
+        outcomes = run_configs(
+            [config for _, config in pairs],
+            jobs=jobs,
+            collect_telemetry=bool(args.metrics_out),
+        )
+        for (overrides, config), (result, telemetry) in zip(pairs, outcomes):
+            sweep.points.append(
+                SweepPoint(overrides=overrides, config=config, result=result)
+            )
+            if telemetry is not None:
+                telemetry_runs.append(telemetry)
+            print(f"  done: {sweep.points[-1].label()}")
+    else:
+        sweep.run(progress=lambda p: print(f"  done: {p.label()}"))
     print(render_table(sweep.headers(), sweep.table_rows(), title="sweep results"))
     fastest = sweep.best("total_time_hours", maximize=False)
     best_acc = sweep.best("final_val_accuracy")

@@ -4,6 +4,7 @@ from . import baselines
 from .autoscale import AutoscalePolicy, AutoscalingPool
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .job import FaultConfig, LocalTrainingConfig, TrainingJobConfig
+from .parallel import default_jobs, run_configs
 from .param_server import PARAM_KEY, AssimilationStats, ParameterServerPool
 from .results import EpochRecord, RunResult
 from .rules import (
@@ -49,6 +50,8 @@ __all__ = [
     "run_experiment",
     "Sweep",
     "SweepPoint",
+    "run_configs",
+    "default_jobs",
     "ClientUpdate",
     "UpdateRule",
     "VCASGDRule",

@@ -91,9 +91,15 @@ class Checkpoint:
         rule_state: dict[str, np.ndarray] | None = None,
         publish_count: int = 0,
     ) -> "Checkpoint":
-        """Snapshot the end state of a (possibly partial) run."""
+        """Snapshot the end state of a (possibly partial) run.
+
+        ``np.array`` copies exactly once (``asarray(...).copy()`` would
+        pay a second full-vector copy when dtype conversion already made
+        one); the checkpoint must own its vector so later server merges
+        cannot mutate history.
+        """
         return Checkpoint(
-            params=np.asarray(params, dtype=np.float64).copy(),
+            params=np.array(params, dtype=np.float64),
             epochs_completed=len(result.epochs),
             elapsed_s=result.total_time_s,
             label=result.label,

@@ -1,0 +1,109 @@
+"""Process-pool fan-out for independent deterministic runs.
+
+A sweep's grid points share nothing: each :class:`TrainingJobConfig`
+carries its own seed and every run is bit-deterministic given its config
+(see ``tests/core/test_determinism.py``).  That makes the sweep loop
+embarrassingly parallel — this module fans the configs out over a
+``ProcessPoolExecutor`` and reassembles results **in grid order**, so
+parallel and serial execution produce identical outcomes.
+
+Guarantees:
+
+* results (and optional per-run telemetry documents) come back in the
+  order the configs were given, regardless of completion order;
+* a worker failure propagates the original exception, annotated with the
+  failing config's label;
+* anything that cannot be shipped to a worker process (an unpicklable
+  config, e.g. one holding a closure-based alpha schedule) degrades to
+  the serial path instead of crashing — same results, one process.
+
+Workers are forked where the platform supports it (cheap, inherits the
+imported modules); otherwise the default start method is used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from ..errors import ConfigurationError
+from .job import TrainingJobConfig
+from .results import RunResult
+
+__all__ = ["run_configs", "default_jobs", "picklable"]
+
+
+def default_jobs() -> int:
+    """A sensible worker count: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def picklable(payload: object) -> bool:
+    """Whether ``payload`` can be shipped to a worker process."""
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        return False
+
+
+def _run_one(config: TrainingJobConfig, collect_telemetry: bool):
+    """Worker body: one full run (top level so it pickles)."""
+    # Imported lazily: forked workers inherit it, spawned ones re-import.
+    from .runner import DistributedRunner
+
+    runner = DistributedRunner(config)
+    result = runner.run()
+    telemetry = runner.telemetry() if collect_telemetry else None
+    return result, telemetry
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_configs(
+    configs: Sequence[TrainingJobConfig],
+    jobs: int = 1,
+    collect_telemetry: bool = False,
+    progress: Callable[[int, RunResult], None] | None = None,
+) -> list[tuple[RunResult, dict | None]]:
+    """Run every config; return ``(result, telemetry-or-None)`` per config.
+
+    ``jobs > 1`` fans out over a process pool; ``jobs <= 1`` — or configs
+    that cannot be pickled — run serially in this process.  Output order
+    always matches input order, and because each run is deterministic in
+    its config alone, the results are identical either way.  ``progress``
+    is invoked as ``progress(index, result)`` in input order.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    configs = list(configs)
+    effective = min(jobs, len(configs)) if configs else 1
+    if effective > 1 and not picklable(configs):
+        effective = 1
+    if effective <= 1:
+        outcomes = [_run_one(config, collect_telemetry) for config in configs]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=effective, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_run_one, config, collect_telemetry)
+                for config in configs
+            ]
+            outcomes = []
+            for config, future in zip(configs, futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    exc.add_note(f"while running sweep point {config.label!r}")
+                    raise
+    if progress is not None:
+        for index, (result, _) in enumerate(outcomes):
+            progress(index, result)
+    return outcomes

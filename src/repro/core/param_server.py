@@ -204,9 +204,13 @@ class ParameterServerPool:
                 # transaction so the update is applied exactly once, by
                 # whichever server re-runs the requeued item.
                 return TXN_ABORT
-            # Out of place: with the eventual store, ``old_vec`` may be a
-            # snapshot other in-flight transactions still reference.
-            # Paper epochs are 1-based.
+            # ``apply`` (not ``apply_into``) on purpose: the returned
+            # vector must be freshly allocated because the store commits
+            # it by reference — an eventual-store snapshot, the published
+            # catalog payload and DC-ASGD backups may all still alias
+            # ``old_vec``.  Built-in rules make this exactly one
+            # allocation with zero temporaries (per-rule scratch buffers
+            # absorb the intermediates).  Paper epochs are 1-based.
             item.committed = True
             return self.rule.apply(old_vec, update, wu.epoch + 1)
 

@@ -99,8 +99,49 @@ class UpdateRule:
         Must be out of place: with an eventually consistent store,
         ``server`` may be a snapshot other in-flight transactions still
         reference.  ``epoch`` is 1-based, as the paper counts.
+
+        Built-in rules route through :meth:`apply_into` with a single
+        fresh output allocation, so absorbing a result costs exactly one
+        vector-sized allocation and zero temporaries.
         """
         raise NotImplementedError
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """In-place variant of :meth:`apply`: write the merged vector into
+        ``out`` and return it.
+
+        ``out`` must not alias ``server``, ``update.params`` or
+        ``update.gradient``.  Built-in rules implement their kernel here
+        with ``np.<op>(..., out=)`` BLAS-1 calls over per-rule scratch
+        buffers — bit-identical results to the historical allocating
+        expressions (same elementwise ops in the same order), with zero
+        temporaries.  The default delegates to :meth:`apply` so custom
+        out-of-place rules keep working unchanged.
+        """
+        result = self.apply(server, update, epoch)
+        if result is not out:
+            np.copyto(out, result)
+        return out
+
+    def _scratch(self, shape: tuple[int, ...], slot: int = 0) -> np.ndarray:
+        """A reusable per-rule scratch buffer (lazily grown per slot).
+
+        Scratch holds *intermediate* values only — never the returned
+        vector — so reuse across calls cannot alias anything a store
+        snapshot, catalog payload or checkpoint still references.
+        """
+        buffers = self.__dict__.setdefault("_scratch_buffers", {})
+        buf = buffers.get(slot)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape)
+            buffers[slot] = buf
+        return buf
 
     def snapshot_sent(self, version: int, server: np.ndarray) -> None:
         """Hook: the server copy ``server`` was published as ``version``."""
@@ -140,7 +181,22 @@ class VCASGDRule(UpdateRule):
     fault_tolerant: bool = True
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return vcasgd_merge(server, update.params, self.schedule.alpha_at(epoch))
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        return vcasgd_merge(
+            server,
+            update.params,
+            self.schedule.alpha_at(epoch),
+            out=out,
+            scratch=self._scratch(server.shape),
+        )
 
     def describe(self) -> str:
         return f"VC-ASGD({self.schedule.describe()})"
@@ -159,7 +215,18 @@ class DownpourRule(UpdateRule):
             raise ConfigurationError("server_lr must be positive")
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return server - self.server_lr * self._require_gradient(update)
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        g = self._require_gradient(update)
+        scaled = np.multiply(g, self.server_lr, out=self._scratch(g.shape))
+        return np.subtract(server, scaled, out=out)
 
     def describe(self) -> str:
         return f"Downpour(lr={self.server_lr})"
@@ -183,7 +250,18 @@ class EASGDRule(UpdateRule):
             raise ConfigurationError("moving_rate must be in (0, 1)")
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
-        return server + self.moving_rate * (update.params - server)
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        pull = np.subtract(update.params, server, out=self._scratch(server.shape))
+        np.multiply(pull, self.moving_rate, out=pull)
+        return np.add(server, pull, out=out)
 
     def describe(self) -> str:
         return f"EASGD(beta={self.moving_rate})"
@@ -206,13 +284,25 @@ class SyncAllReduceRule(UpdateRule):
     _arrivals: int = field(default=0, repr=False)
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
         if epoch != self._round:
             self._round = epoch
             self._arrivals = 0
         self._arrivals += 1
         if self._arrivals == 1:
-            return update.params.copy()
-        return server + (update.params - server) / self._arrivals
+            np.copyto(out, update.params)
+            return out
+        delta = np.subtract(update.params, server, out=self._scratch(server.shape))
+        np.divide(delta, self._arrivals, out=delta)
+        return np.add(server, delta, out=out)
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {
@@ -264,13 +354,31 @@ class DCASGDRule(UpdateRule):
             del self._backups[min(self._backups)]
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
         backup = self._backups.get(update.base_version)
         g = self._require_gradient(update)
+        # Same elementwise op order as the historical expression
+        # ``server - lr * (g + ((lam*g)*g) * (server - backup))`` so results
+        # stay bit-identical; two scratch slots hold the intermediates.
+        work = self._scratch(g.shape)
         if backup is None:
-            compensated = g
-        else:
-            compensated = g + self.lam * g * g * (server - backup)
-        return server - self.server_lr * compensated
+            np.multiply(g, self.server_lr, out=work)
+            return np.subtract(server, work, out=out)
+        np.multiply(g, self.lam, out=work)
+        np.multiply(work, g, out=work)
+        drift = np.subtract(server, backup, out=self._scratch(server.shape, slot=1))
+        np.multiply(work, drift, out=work)
+        np.add(g, work, out=work)
+        np.multiply(work, self.server_lr, out=work)
+        return np.subtract(server, work, out=out)
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {f"backup:{version}": vec for version, vec in self._backups.items()}
@@ -322,9 +430,19 @@ class RescaledASGDRule(UpdateRule):
         return max(0, self._latest_version - update.base_version)
 
     def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
         g = self._require_gradient(update)
         scale = self.server_lr / (1.0 + self.staleness_of(update)) ** self.power
-        return server - scale * g
+        scaled = np.multiply(g, scale, out=self._scratch(g.shape))
+        return np.subtract(server, scaled, out=out)
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {"latest_version": np.asarray([self._latest_version])}

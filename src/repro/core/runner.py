@@ -45,7 +45,7 @@ from ..nn.losses import cross_entropy
 from ..nn.metrics import evaluate_classifier
 from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
-from ..nn.serialization import GradientAccumulator, state_to_vector, vector_to_state
+from ..nn.serialization import GradientAccumulator, StateLayout
 from ..nn.tensor import Tensor
 from ..obs.runtime import ObservabilityConfig, RunObservability
 from ..simulation.chaos import ChaosPlan, PartitionSchedule
@@ -158,7 +158,13 @@ class DistributedRunner:
         if config.warm_start_passes > 0 and resume_from is None:
             self._warm_start()
             self._template_state = self._eval_model.state_dict()
-        initial_vec = state_to_vector(self._eval_model.state_dict())
+        # Zero-copy parameter plane: one cached layout drives every
+        # pack/unpack for this model shape, and the eval model's live
+        # arrays are bound once so evaluating a vector is a single
+        # unpack_into (no per-call state-dict construction or validation).
+        self._layout = StateLayout.for_state(self._template_state)
+        self._eval_arrays = self._eval_model.state_arrays()
+        initial_vec = self._layout.pack(self._eval_arrays)
         if resume_from is not None:
             # Recover the server parameter copy from the checkpoint (the
             # role the §III-D database plays after a server failure).
@@ -167,7 +173,7 @@ class DistributedRunner:
                     f"checkpoint has {resume_from.params.size} scalars but the "
                     f"model needs {initial_vec.size}; config mismatch?"
                 )
-            initial_vec = resume_from.params.astype(np.float64).copy()
+            initial_vec = np.array(resume_from.params, dtype=np.float64)
             self._time_offset = resume_from.elapsed_s
         self.param_size = initial_vec.size
         self._param_raw_bytes = initial_vec.nbytes
@@ -286,6 +292,7 @@ class DistributedRunner:
 
         # ---- client fleet ------------------------------------------------------
         self._client_models: dict[str, Module] = {}
+        self._client_arrays: dict[str, dict[str, np.ndarray]] = {}
         self._client_counter = 0
         self.preemptions = 0
         for i in range(config.num_clients):
@@ -438,6 +445,10 @@ class DistributedRunner:
             # here only needs to be deterministic, not meaningful.
             model = build_model(self.config.model, self.rngs.fresh(f"model:{client_id}"))
             self._client_models[client_id] = model
+            # Bind the model's live storage to the layout once; optimizer
+            # steps mutate these arrays strictly in place, so the binding
+            # stays valid for the client's lifetime.
+            self._client_arrays[client_id] = model.state_arrays()
         return model
 
     def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[ClientUpdate, int]:
@@ -454,7 +465,7 @@ class DistributedRunner:
         param_vec = published.params
         self._wu_base_version[wu.wu_id] = published.version
         shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
-        model.load_state_dict(vector_to_state(param_vec, self._template_state))
+        self._layout.unpack_into(param_vec, self._client_arrays[client_id])
         model.train()
         if cfg.optimizer == "adam":
             opt = Adam(model.parameters(), lr=cfg.learning_rate)
@@ -482,7 +493,7 @@ class DistributedRunner:
                         {name: p.grad for name, p in model.named_parameters()}
                     )
                 opt.step()
-        new_vec = state_to_vector(model.state_dict())
+        new_vec = self._layout.pack(self._client_arrays[client_id])
         new_vec = self._maybe_corrupt(client_id, new_vec)
         update = ClientUpdate(
             client_id=client_id,
@@ -518,11 +529,11 @@ class DistributedRunner:
     # ------------------------------------------------------------------
     def _evaluate_vec(self, vec: np.ndarray) -> tuple[float, float]:
         """Validation loss/accuracy of a parameter vector (real eval)."""
-        self._eval_model.load_state_dict(vector_to_state(vec, self._template_state))
+        self._layout.unpack_into(vec, self._eval_arrays)
         return evaluate_classifier(self._eval_model, self._val_x, self._val_y)
 
     def _test_accuracy(self, vec: np.ndarray) -> float:
-        self._eval_model.load_state_dict(vector_to_state(vec, self._template_state))
+        self._layout.unpack_into(vec, self._eval_arrays)
         _, acc = evaluate_classifier(self._eval_model, self.test_set.x, self.test_set.y)
         return acc
 
@@ -575,7 +586,7 @@ class DistributedRunner:
         if self._last_checkpoint is None:
             return
         restored = Checkpoint.from_bytes(self._last_checkpoint.to_bytes())
-        vec = restored.params.astype(np.float64).copy()
+        vec = np.array(restored.params, dtype=np.float64)
         self.store.put_now(PARAM_KEY, vec)
         self.rule.load_state_dict(restored.rule_state)
         self._republish_params(vec)

@@ -107,16 +107,36 @@ class Sweep:
 
     # -- execution ------------------------------------------------------------
     def run(
-        self, progress: Callable[[SweepPoint], None] | None = None
+        self,
+        progress: Callable[[SweepPoint], None] | None = None,
+        jobs: int = 1,
     ) -> list[SweepPoint]:
-        """Execute every grid point (deterministic, independent runs)."""
+        """Execute every grid point (deterministic, independent runs).
+
+        ``jobs > 1`` fans the grid out over a process pool (see
+        :mod:`repro.core.parallel`); because every run is deterministic in
+        its config alone, the points are identical to a serial sweep and
+        come back in grid order.  A custom ``runner`` cannot be shipped to
+        worker processes, so it always runs serially.
+        """
         self.points = []
-        for overrides, config in self.configs():
-            result = self.runner(config)
-            point = SweepPoint(overrides=overrides, config=config, result=result)
-            self.points.append(point)
-            if progress is not None:
-                progress(point)
+        pairs = self.configs()
+        if jobs > 1 and self.runner is run_experiment:
+            from .parallel import run_configs
+
+            outcomes = run_configs([config for _, config in pairs], jobs=jobs)
+            for (overrides, config), (result, _) in zip(pairs, outcomes):
+                point = SweepPoint(overrides=overrides, config=config, result=result)
+                self.points.append(point)
+                if progress is not None:
+                    progress(point)
+        else:
+            for overrides, config in pairs:
+                result = self.runner(config)
+                point = SweepPoint(overrides=overrides, config=config, result=result)
+                self.points.append(point)
+                if progress is not None:
+                    progress(point)
         return self.points
 
     # -- queries ----------------------------------------------------------------

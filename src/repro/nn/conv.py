@@ -3,6 +3,18 @@
 The im2col transform rewrites a convolution as a single GEMM, which is the
 standard way to get NumPy-speed convolutions (see the HPC guide's advice to
 push work into vectorized kernels).  Layout is NCHW throughout.
+
+Every kernel takes an optional :class:`~repro.nn.workspace.Workspace`.
+With one, the large per-step intermediates — padded input, column matrix,
+GEMM output, backward column gradients, col2im scatter target — are
+written into reused buffers instead of freshly allocated (shapes repeat
+every step, so after the first step the hot path allocates only the
+output tensors the autograd graph must own).  The arithmetic is the same
+ops in the same order either way, so results are bit-identical with or
+without a workspace.  Constraint: a workspace-backed forward invalidates
+the intermediates captured by the *previous* forward of the same layer,
+so backward must run before that layer's next forward — which the
+step-per-batch training loop guarantees.
 """
 
 from __future__ import annotations
@@ -11,6 +23,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from .tensor import Tensor
+from .workspace import Workspace
 
 __all__ = [
     "conv_output_size",
@@ -35,19 +48,34 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    workspace: Workspace | None = None,
+    tag: str = "im2col",
 ) -> tuple[np.ndarray, int, int]:
     """Unfold ``x`` (N, C, H, W) into columns of shape (N*OH*OW, C*kh*kw).
 
     Returns the column matrix plus the output spatial dims.  Built with
     stride tricks: the intermediate 6-D view costs no copies; only the final
-    reshape materializes.
+    reshape materializes — into a reused workspace buffer when one is given
+    (the returned matrix is then owned by the workspace and valid until the
+    next call with the same tag and shape).
     """
     n, c, h, w = x.shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
     if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        if workspace is None:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        else:
+            padded = workspace.zeros(
+                f"{tag}:pad", (n, c, h + 2 * pad, w + 2 * pad), x.dtype
+            )
+            padded[:, :, pad:-pad, pad:-pad] = x
+            x = padded
     sn, sc, sh, sw = x.strides
     windows = np.lib.stride_tricks.as_strided(
         x,
@@ -56,8 +84,13 @@ def im2col(
         writeable=False,
     )
     # (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw)
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), oh, ow
+    t = windows.transpose(0, 2, 3, 1, 4, 5)
+    if workspace is None:
+        cols = np.ascontiguousarray(t.reshape(n * oh * ow, c * kh * kw))
+    else:
+        cols = workspace.buffer(f"{tag}:cols", (n * oh * ow, c * kh * kw), x.dtype)
+        np.copyto(cols.reshape(n, oh, ow, c, kh, kw), t)
+    return cols, oh, ow
 
 
 def col2im(
@@ -67,12 +100,25 @@ def col2im(
     kw: int,
     stride: int,
     pad: int,
+    workspace: Workspace | None = None,
+    tag: str = "col2im",
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image.
+
+    With a workspace the scatter target is a reused buffer and the return
+    value (a view of it when ``pad > 0``) is only valid until the next call
+    with the same tag — callers hand it straight to ``Tensor._accumulate``,
+    which copies.
+    """
     n, c, h, w = x_shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    if workspace is None:
+        padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    else:
+        padded = workspace.zeros(
+            f"{tag}:pad", (n, c, h + 2 * pad, w + 2 * pad), cols.dtype
+        )
     cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
     # cols6: (N, C, kh, kw, OH, OW); add each kernel offset's contribution.
     for i in range(kh):
@@ -85,11 +131,20 @@ def col2im(
     return padded
 
 
-def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    stride: int = 1,
+    pad: int = 0,
+    workspace: Workspace | None = None,
+) -> Tensor:
     """2-D cross-correlation of NCHW input ``x`` with OIHW ``weight``.
 
     Implemented as im2col + GEMM; the backward pass reuses the cached
     column matrix for the weight gradient and col2im for the input gradient.
+    The output tensor's data is always freshly allocated; a workspace only
+    backs the intermediates.
     """
     if x.ndim != 4:
         raise ShapeError(f"conv2d expects NCHW input, got ndim={x.ndim}")
@@ -100,9 +155,14 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
     if ci != c:
         raise ShapeError(f"input has {c} channels but weight expects {ci}")
 
-    cols, oh, ow = im2col(x.data, kh, kw, stride, pad)
+    cols, oh, ow = im2col(x.data, kh, kw, stride, pad, workspace, tag="fwd")
     w2d = weight.data.reshape(co, ci * kh * kw)
-    out = cols @ w2d.T  # (N*OH*OW, CO)
+    if workspace is None:
+        out = cols @ w2d.T  # (N*OH*OW, CO)
+    else:
+        out = np.matmul(
+            cols, w2d.T, out=workspace.buffer("fwd:gemm", (n * oh * ow, co))
+        )
     if bias is not None:
         out += bias.data
     out = out.reshape(n, oh, ow, co).transpose(0, 3, 1, 2)
@@ -110,57 +170,103 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray) -> None:
-        g2d = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, co)
+        if workspace is None:
+            g2d = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, co)
+        else:
+            g2d = workspace.buffer("bwd:g2d", (n * oh * ow, co))
+            np.copyto(g2d.reshape(n, oh, ow, co), g.transpose(0, 2, 3, 1))
         if bias is not None and bias.requires_grad:
             bias._accumulate(g2d.sum(axis=0))
         if weight.requires_grad:
-            gw = g2d.T @ cols
+            if workspace is None:
+                gw = g2d.T @ cols
+            else:
+                gw = np.matmul(
+                    g2d.T, cols, out=workspace.buffer("bwd:gw", (co, ci * kh * kw))
+                )
             weight._accumulate(gw.reshape(weight.shape))
         if x.requires_grad:
-            gcols = g2d @ w2d
-            x._accumulate(col2im(gcols, (n, c, h, w), kh, kw, stride, pad))
+            if workspace is None:
+                gcols = g2d @ w2d
+            else:
+                gcols = np.matmul(
+                    g2d, w2d, out=workspace.buffer("bwd:gcols", cols.shape)
+                )
+            x._accumulate(
+                col2im(gcols, (n, c, h, w), kh, kw, stride, pad, workspace, tag="bwd")
+            )
 
     return Tensor._make(np.ascontiguousarray(out), parents, backward)
 
 
-def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+def max_pool2d(
+    x: Tensor,
+    kernel: int,
+    stride: int | None = None,
+    workspace: Workspace | None = None,
+) -> Tensor:
     """Max pooling over non-overlapping (or strided) windows."""
     if stride is None:
         stride = kernel
     n, c, h, w = x.shape
     cols, oh, ow = im2col(
-        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0, workspace, tag="fwd"
     )
     # cols: (N*C*OH*OW, kernel*kernel)
-    argmax = cols.argmax(axis=1)
-    out = cols[np.arange(cols.shape[0]), argmax]
+    rows = cols.shape[0]
+    if workspace is None:
+        argmax = cols.argmax(axis=1)
+        row_idx = np.arange(rows)
+    else:
+        argmax = cols.argmax(axis=1, out=workspace.buffer("fwd:argmax", (rows,), np.intp))
+        row_idx = workspace.arange_rows(rows)
+    out = cols[row_idx, argmax]
     out4 = out.reshape(n, c, oh, ow)
 
     def backward(g: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        gcols = np.zeros_like(cols)
-        gcols[np.arange(cols.shape[0]), argmax] = g.reshape(-1)
-        gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        if workspace is None:
+            gcols = np.zeros_like(cols)
+        else:
+            gcols = workspace.zeros("bwd:gcols", cols.shape, cols.dtype)
+        gcols[row_idx, argmax] = g.reshape(-1)
+        gx = col2im(
+            gcols, (n * c, 1, h, w), kernel, kernel, stride, 0, workspace, tag="bwd"
+        )
         x._accumulate(gx.reshape(n, c, h, w))
 
     return Tensor._make(out4, (x,), backward)
 
 
-def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+def avg_pool2d(
+    x: Tensor,
+    kernel: int,
+    stride: int | None = None,
+    workspace: Workspace | None = None,
+) -> Tensor:
     """Average pooling over windows."""
     if stride is None:
         stride = kernel
     n, c, h, w = x.shape
-    cols, oh, ow = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    cols, oh, ow = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0, workspace, tag="fwd"
+    )
     out = cols.mean(axis=1).reshape(n, c, oh, ow)
     inv = 1.0 / (kernel * kernel)
 
     def backward(g: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        gcols = np.repeat(g.reshape(-1, 1), kernel * kernel, axis=1) * inv
-        gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        if workspace is None:
+            gcols = np.repeat(g.reshape(-1, 1), kernel * kernel, axis=1) * inv
+        else:
+            gcols = workspace.buffer("bwd:gcols", cols.shape, cols.dtype)
+            np.copyto(gcols, g.reshape(-1, 1))
+            gcols *= inv
+        gx = col2im(
+            gcols, (n * c, 1, h, w), kernel, kernel, stride, 0, workspace, tag="bwd"
+        )
         x._accumulate(gx.reshape(n, c, h, w))
 
     return Tensor._make(out, (x,), backward)
@@ -174,6 +280,8 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(np.broadcast_to(g[:, :, None, None] * inv, x.shape).copy())
+            # _accumulate adds into its own buffer, so the stride-0
+            # broadcast view needs no materializing copy.
+            x._accumulate(np.broadcast_to(g[:, :, None, None] * inv, x.shape))
 
     return Tensor._make(out, (x,), backward)

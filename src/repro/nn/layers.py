@@ -18,6 +18,7 @@ from . import functional as F
 from .conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
 from .initializers import Initializer, get_initializer, he_normal
 from .tensor import Tensor
+from .workspace import Workspace, workspaces_enabled
 
 __all__ = [
     "Parameter",
@@ -123,6 +124,20 @@ class Module:
         )
         return state
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Live (uncopied) parameter/buffer arrays, keyed like ``state_dict``.
+
+        The arrays are the module's actual storage — writing through them
+        changes the model.  This is the zero-copy counterpart of
+        :meth:`state_dict` for use with
+        :class:`~repro.nn.serialization.StateLayout`: the optimizers and
+        batch-norm update these arrays strictly in place, so the mapping
+        stays valid for the module's whole lifetime.
+        """
+        arrays = {name: p.data for name, p in self.named_parameters()}
+        arrays.update({f"buffer:{name}": b for name, b in self.named_buffers()})
+        return arrays
+
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Load a state dict produced by :meth:`state_dict` (strict)."""
         own_params = dict(self.named_parameters())
@@ -207,9 +222,15 @@ class Conv2D(Module):
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(initializer(shape, rng))
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        # Per-layer scratch arena: im2col/GEMM/col2im intermediates are
+        # reused across steps (see repro.nn.workspace for the safety model).
+        self._workspace = Workspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return conv2d(x, self.weight, self.bias, stride=self.stride, pad=self.padding)
+        ws = self._workspace if workspaces_enabled() else None
+        return conv2d(
+            x, self.weight, self.bias, stride=self.stride, pad=self.padding, workspace=ws
+        )
 
 
 class BatchNorm(Module):
@@ -318,9 +339,11 @@ class MaxPool2D(Module):
         super().__init__()
         self.kernel = kernel
         self.stride = stride
+        self._workspace = Workspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return max_pool2d(x, self.kernel, self.stride)
+        ws = self._workspace if workspaces_enabled() else None
+        return max_pool2d(x, self.kernel, self.stride, workspace=ws)
 
 
 class AvgPool2D(Module):
@@ -328,9 +351,11 @@ class AvgPool2D(Module):
         super().__init__()
         self.kernel = kernel
         self.stride = stride
+        self._workspace = Workspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return avg_pool2d(x, self.kernel, self.stride)
+        ws = self._workspace if workspaces_enabled() else None
+        return avg_pool2d(x, self.kernel, self.stride, workspace=ws)
 
 
 class GlobalAvgPool2D(Module):

@@ -168,21 +168,29 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity: dict[int, np.ndarray] = {}
+        self._scratch: dict[int, np.ndarray] = {}
 
     def _update(self, index: int, p: Tensor, lr: float) -> None:
         grad = p.grad
         if self.weight_decay:
             grad = grad + self.weight_decay * p.data
+        scratch = self._scratch.get(index)
+        if scratch is None:
+            scratch = np.empty_like(p.data)
+            self._scratch[index] = scratch
+        # lr*grad lands in scratch instead of a fresh temporary; same
+        # multiply, same subtract, bit-identical result.
+        np.multiply(grad, lr, out=scratch)
         if self.momentum:
             v = self._velocity.get(index)
             if v is None:
                 v = np.zeros_like(p.data)
                 self._velocity[index] = v
             v *= self.momentum
-            v -= lr * grad
+            v -= scratch
             p.data += v
         else:
-            p.data -= lr * grad
+            p.data -= scratch
 
 
 class Adam(Optimizer):
@@ -210,8 +218,16 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: dict[int, np.ndarray] = {}
         self._v: dict[int, np.ndarray] = {}
+        self._scratch: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def _update(self, index: int, p: Tensor, lr: float) -> None:
+        """One Adam step, fully in place.
+
+        Every intermediate lands in one of two per-parameter scratch
+        buffers instead of a fresh temporary (the historical expression
+        allocated eight).  The operations and their order are unchanged,
+        so the updates are bit-identical to the allocating form.
+        """
         grad = p.grad
         if self.weight_decay:
             grad = grad + self.weight_decay * p.data
@@ -221,13 +237,22 @@ class Adam(Optimizer):
             v = np.zeros_like(p.data)
             self._m[index] = m
             self._v[index] = v
+            self._scratch[index] = (np.empty_like(p.data), np.empty_like(p.data))
         else:
             v = self._v[index]
+        s1, s2 = self._scratch[index]
         t = self.step_count  # step() already incremented: t >= 1
         m *= self.beta1
-        m += (1 - self.beta1) * grad
+        np.multiply(grad, 1 - self.beta1, out=s1)  # (1-beta1)*grad
+        m += s1
         v *= self.beta2
-        v += (1 - self.beta2) * grad * grad
-        m_hat = m / (1 - self.beta1**t)
-        v_hat = v / (1 - self.beta2**t)
-        p.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.multiply(grad, 1 - self.beta2, out=s1)  # ((1-beta2)*grad)*grad
+        s1 *= grad
+        v += s1
+        np.divide(m, 1 - self.beta1**t, out=s1)  # m_hat
+        np.divide(v, 1 - self.beta2**t, out=s2)  # v_hat
+        np.sqrt(s2, out=s2)
+        s2 += self.eps
+        s1 *= lr  # (lr*m_hat) / (sqrt(v_hat)+eps)
+        s1 /= s2
+        p.data -= s1

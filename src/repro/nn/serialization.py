@@ -9,6 +9,13 @@ representations are provided:
 * **flat vector** — all parameters packed into one contiguous ``float64``
   vector, used by the parameter-update rules so that Eq. (1) is a pair of
   vectorized in-place BLAS-1 operations rather than a per-layer Python loop.
+
+The flat codec is driven by :class:`StateLayout` — per-key offsets, shapes
+and sizes precomputed once per state-dict *signature* and cached, so the
+hot path (one pack + one unpack per client result) never re-sorts keys,
+never re-derives shapes, and allocates nothing beyond what the caller
+asks for.  The legacy helpers (:func:`state_to_vector` and friends)
+delegate to the cached layout and keep their exact historical semantics.
 """
 
 from __future__ import annotations
@@ -16,12 +23,14 @@ from __future__ import annotations
 import hashlib
 import io
 import zlib
+from collections import OrderedDict
 
 import numpy as np
 
 from ..errors import SerializationError
 
 __all__ = [
+    "StateLayout",
     "state_to_bytes",
     "state_from_bytes",
     "state_to_vector",
@@ -34,12 +43,206 @@ __all__ = [
 ]
 
 
+def _as_f64_contiguous(value: np.ndarray) -> np.ndarray:
+    """Float64 C-contiguous view of ``value`` — a copy only when needed."""
+    arr = value if isinstance(value, np.ndarray) else np.asarray(value)
+    if arr.dtype == np.float64 and arr.flags["C_CONTIGUOUS"]:
+        return arr
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+class StateLayout:
+    """Cached flat-vector codec for one state-dict signature.
+
+    Precomputes the sorted key order, per-key shapes/sizes and vector
+    offsets so pack/unpack are straight ``memcpy``-style loops with zero
+    per-call bookkeeping.  Layouts are immutable and shared: obtain one
+    via :meth:`for_state`, which caches by signature (the sorted
+    ``(key, shape)`` tuple), so every runner, rule and checkpoint touching
+    the same model shape reuses a single instance.
+
+    Aliasing contract: :meth:`views` returns *views into the vector* —
+    writes through them mutate the vector and vice versa.  :meth:`unpack`
+    (the safe default) returns fresh copies, matching the historical
+    :func:`vector_to_state`.
+    """
+
+    __slots__ = ("keys", "shapes", "sizes", "offsets", "total_size", "signature")
+
+    def __init__(self, template: dict[str, np.ndarray]) -> None:
+        if not template:
+            raise SerializationError("cannot build a layout for an empty state dict")
+        self.keys: tuple[str, ...] = tuple(sorted(template))
+        shapes = []
+        sizes = []
+        offsets = []
+        offset = 0
+        for key in self.keys:
+            shape = np.asarray(template[key]).shape
+            size = int(np.prod(shape)) if shape else 1
+            shapes.append(shape)
+            sizes.append(size)
+            offsets.append(offset)
+            offset += size
+        self.shapes: tuple[tuple[int, ...], ...] = tuple(shapes)
+        self.sizes: tuple[int, ...] = tuple(sizes)
+        self.offsets: tuple[int, ...] = tuple(offsets)
+        self.total_size: int = offset
+        self.signature: tuple[tuple[str, tuple[int, ...]], ...] = tuple(
+            zip(self.keys, self.shapes)
+        )
+
+    # -- construction / cache -------------------------------------------------
+
+    _CACHE: "OrderedDict[tuple, StateLayout]" = OrderedDict()
+    _CACHE_MAX = 64
+
+    @classmethod
+    def for_state(cls, template: dict[str, np.ndarray]) -> "StateLayout":
+        """The shared layout for ``template``'s signature (cached)."""
+        if not template:
+            raise SerializationError("cannot build a layout for an empty state dict")
+        signature = tuple(
+            (key, np.asarray(template[key]).shape) for key in sorted(template)
+        )
+        layout = cls._CACHE.get(signature)
+        if layout is None:
+            layout = cls(template)
+            cls._CACHE[signature] = layout
+            while len(cls._CACHE) > cls._CACHE_MAX:
+                cls._CACHE.popitem(last=False)
+        else:
+            cls._CACHE.move_to_end(signature)
+        return layout
+
+    # -- vector <-> state ----------------------------------------------------
+
+    def empty(self) -> np.ndarray:
+        """An uninitialised flat vector of the right size."""
+        return np.empty(self.total_size)
+
+    def zeros(self) -> np.ndarray:
+        """A zero flat vector of the right size."""
+        return np.zeros(self.total_size)
+
+    def pack(self, state: dict[str, np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+        """Pack ``state`` into a flat float64 vector.
+
+        With ``out`` given, writes into it (no allocation) and returns it;
+        otherwise allocates a fresh vector.  Only per-key *sizes* must
+        match the layout — exactly the historical ``state_to_vector``
+        contract, which ravels each entry.
+        """
+        if out is None:
+            out = np.empty(self.total_size)
+        elif out.shape != (self.total_size,):
+            raise SerializationError(
+                f"pack out buffer has shape {out.shape}, "
+                f"expected ({self.total_size},)"
+            )
+        for key, offset, size in zip(self.keys, self.offsets, self.sizes):
+            try:
+                value = state[key]
+            except KeyError:
+                raise SerializationError(
+                    f"state dict is missing key {key!r} required by layout"
+                ) from None
+            flat = np.asarray(value, dtype=np.float64).ravel()
+            if flat.size != size:
+                raise SerializationError(
+                    f"entry {key!r} has {flat.size} scalars, layout expects {size}"
+                )
+            np.copyto(out[offset : offset + size], flat)
+        return out
+
+    def _check_vector(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.size != self.total_size:
+            raise SerializationError(
+                f"vector of size {vector.size} does not match template "
+                f"({self.total_size} scalars)"
+            )
+        return vector
+
+    def unpack(self, vector: np.ndarray) -> dict[str, np.ndarray]:
+        """Unpack into freshly-copied arrays shaped like the template."""
+        vector = self._check_vector(vector)
+        return {
+            key: vector[offset : offset + size].reshape(shape).copy()
+            for key, offset, size, shape in zip(
+                self.keys, self.offsets, self.sizes, self.shapes
+            )
+        }
+
+    def views(self, vector: np.ndarray) -> dict[str, np.ndarray]:
+        """Unpack into *views* of ``vector`` — zero-copy.
+
+        Writes through a view mutate the vector (and vice versa); callers
+        must not let a view outlive the vector's logical lifetime.  Used
+        on read-only paths (evaluation, checksum) where the historical
+        per-key copy was pure overhead.
+        """
+        vector = self._check_vector(vector)
+        return {
+            key: vector[offset : offset + size].reshape(shape)
+            for key, offset, size, shape in zip(
+                self.keys, self.offsets, self.sizes, self.shapes
+            )
+        }
+
+    def unpack_into(
+        self, vector: np.ndarray, dest: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Copy ``vector`` into preallocated arrays in ``dest`` (by key)."""
+        vector = self._check_vector(vector)
+        for key, offset, size, shape in zip(
+            self.keys, self.offsets, self.sizes, self.shapes
+        ):
+            target = dest[key]
+            if target.shape != shape:
+                raise SerializationError(
+                    f"destination for {key!r} has shape {target.shape}, "
+                    f"layout expects {shape}"
+                )
+            np.copyto(target, vector[offset : offset + size].reshape(shape))
+        return dest
+
+    # -- gradients -----------------------------------------------------------
+
+    def accumulate(
+        self,
+        named_grads: dict[str, np.ndarray | None],
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Add one step's gradients into ``out`` in place, per-key.
+
+        Keys missing from ``named_grads`` (or mapped to None) contribute
+        nothing — the flat codec covers non-trainable buffer slots too.
+        Bit-identical to ``out += gradients_to_vector(...)`` without
+        materialising the intermediate full-size vector.
+        """
+        for key, offset, size in zip(self.keys, self.offsets, self.sizes):
+            grad = named_grads.get(key)
+            if grad is None:
+                continue
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.size != size:
+                raise SerializationError(
+                    f"gradient for {key!r} has {grad.size} scalars, "
+                    f"template expects {size}"
+                )
+            view = out[offset : offset + size]
+            np.add(view, grad.ravel(), out=view)
+        return out
+
+
 def state_to_bytes(state: dict[str, np.ndarray], compress: bool = True) -> bytes:
     """Serialize a state dict to a (compressed) ``.npz`` byte blob."""
     buf = io.BytesIO()
     save = np.savez_compressed if compress else np.savez
     # Keys may contain characters that are fine for npz archive member names.
-    save(buf, **{k: np.asarray(v) for k, v in state.items()})
+    # Entries that are already ndarrays go straight through — no copies.
+    save(buf, **{k: v if isinstance(v, np.ndarray) else np.asarray(v) for k, v in state.items()})
     return buf.getvalue()
 
 
@@ -61,28 +264,19 @@ def state_to_vector(state: dict[str, np.ndarray]) -> np.ndarray:
     """Pack all entries (sorted by key) into one contiguous float64 vector."""
     if not state:
         raise SerializationError("cannot vectorize an empty state dict")
-    parts = [np.asarray(state[k], dtype=np.float64).ravel() for k in sorted(state)]
-    return np.concatenate(parts)
+    return StateLayout.for_state(state).pack(state)
 
 
 def vector_to_state(
     vector: np.ndarray, template: dict[str, np.ndarray]
 ) -> dict[str, np.ndarray]:
     """Unpack a flat vector into arrays shaped like ``template`` (sorted keys)."""
-    vector = np.asarray(vector, dtype=np.float64)
-    expected = state_num_scalars(template)
-    if vector.ndim != 1 or vector.size != expected:
+    if not template:
+        size = np.asarray(vector, dtype=np.float64).size
         raise SerializationError(
-            f"vector of size {vector.size} does not match template ({expected} scalars)"
+            f"vector of size {size} does not match template (0 scalars)"
         )
-    out: dict[str, np.ndarray] = {}
-    offset = 0
-    for key in sorted(template):
-        shape = np.asarray(template[key]).shape
-        size = int(np.prod(shape)) if shape else 1
-        out[key] = vector[offset : offset + size].reshape(shape).copy()
-        offset += size
-    return out
+    return StateLayout.for_state(template).unpack(vector)
 
 
 def gradients_to_vector(
@@ -98,22 +292,8 @@ def gradients_to_vector(
     """
     if not template:
         raise SerializationError("cannot vectorize against an empty template")
-    parts: list[np.ndarray] = []
-    for key in sorted(template):
-        shape = np.asarray(template[key]).shape
-        size = int(np.prod(shape)) if shape else 1
-        grad = named_grads.get(key)
-        if grad is None:
-            parts.append(np.zeros(size))
-        else:
-            grad = np.asarray(grad, dtype=np.float64)
-            if grad.size != size:
-                raise SerializationError(
-                    f"gradient for {key!r} has {grad.size} scalars, "
-                    f"template expects {size}"
-                )
-            parts.append(grad.ravel())
-    return np.concatenate(parts)
+    layout = StateLayout.for_state(template)
+    return layout.accumulate(named_grads, layout.zeros())
 
 
 class GradientAccumulator:
@@ -124,15 +304,19 @@ class GradientAccumulator:
     *accumulated* local gradient in the same flat layout as the parameter
     vector.  ``add`` is called once per backward pass with the model's
     ``named_parameters`` gradients; ``total`` is the upload payload.
+
+    Accumulation is in place into per-key slices of one preallocated
+    total — no full-size temporary per step.
     """
 
     def __init__(self, template: dict[str, np.ndarray]) -> None:
         self.template = template
-        self._total = np.zeros(state_num_scalars(template))
+        self._layout = StateLayout.for_state(template)
+        self._total = self._layout.zeros()
 
     def add(self, named_grads: dict[str, np.ndarray | None]) -> None:
         """Accumulate one step's gradients."""
-        self._total += gradients_to_vector(named_grads, self.template)
+        self._layout.accumulate(named_grads, self._total)
 
     @property
     def total(self) -> np.ndarray:
@@ -145,10 +329,18 @@ def state_checksum(state: dict[str, np.ndarray]) -> str:
     digest = hashlib.sha256()
     for key in sorted(state):
         digest.update(key.encode())
-        arr = np.ascontiguousarray(np.asarray(state[key], dtype=np.float64))
+        arr = _as_f64_contiguous(state[key])
         digest.update(str(arr.shape).encode())
         digest.update(arr.tobytes())
     return digest.hexdigest()
+
+
+# ``compressed_size`` memoisation: zlib over the full ~21 MB parameter blob
+# costs ~100 ms; the simulation asks for the same payload's size repeatedly
+# (work generator, catalog publishes, transfer planning).  Key by a cheap
+# BLAKE2b content digest so identical payloads compress exactly once.
+_COMPRESSED_SIZE_CACHE: "OrderedDict[tuple[bytes, int], int]" = OrderedDict()
+_COMPRESSED_SIZE_CACHE_MAX = 256
 
 
 def compressed_size(payload: bytes | np.ndarray, level: int = 6) -> int:
@@ -156,7 +348,19 @@ def compressed_size(payload: bytes | np.ndarray, level: int = 6) -> int:
 
     Models BOINC's server-side gzip feature (§III-B): the network transfer
     model charges for compressed bytes when compression is enabled.
+    Results are memoised by content checksum, so repeated queries for the
+    same payload skip the (expensive) compression pass.
     """
     if isinstance(payload, np.ndarray):
-        payload = np.ascontiguousarray(payload).tobytes()
-    return len(zlib.compress(payload, level))
+        arr = payload if payload.flags["C_CONTIGUOUS"] else np.ascontiguousarray(payload)
+        payload = arr.tobytes()
+    key = (hashlib.blake2b(payload, digest_size=16).digest(), level)
+    cached = _COMPRESSED_SIZE_CACHE.get(key)
+    if cached is not None:
+        _COMPRESSED_SIZE_CACHE.move_to_end(key)
+        return cached
+    size = len(zlib.compress(payload, level))
+    _COMPRESSED_SIZE_CACHE[key] = size
+    while len(_COMPRESSED_SIZE_CACHE) > _COMPRESSED_SIZE_CACHE_MAX:
+        _COMPRESSED_SIZE_CACHE.popitem(last=False)
+    return size

@@ -1,0 +1,143 @@
+"""StateLayout codec: legacy equivalence, zero-copy views, mutation safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.nn.serialization import (
+    GradientAccumulator,
+    StateLayout,
+    state_to_vector,
+    vector_to_state,
+)
+
+
+def legacy_pack(state: dict[str, np.ndarray]) -> np.ndarray:
+    """The historical codec: sorted keys, ravel, concatenate."""
+    return np.concatenate(
+        [np.asarray(state[k], dtype=np.float64).ravel() for k in sorted(state)]
+    )
+
+
+@st.composite
+def random_states(draw) -> dict[str, np.ndarray]:
+    n_keys = draw(st.integers(1, 6))
+    state = {}
+    for i in range(n_keys):
+        ndim = draw(st.integers(0, 3))
+        shape = tuple(draw(st.integers(1, 4)) for _ in range(ndim))
+        seed = draw(st.integers(0, 2**31 - 1))
+        values = np.random.default_rng(seed).normal(size=shape)
+        # Mixed key styles, including buffer-prefixed ones.
+        prefix = "buffer:" if draw(st.booleans()) else ""
+        state[f"{prefix}k{i:02d}"] = values
+    return state
+
+
+class TestLegacyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(state=random_states())
+    def test_pack_matches_legacy_concatenate(self, state):
+        layout = StateLayout.for_state(state)
+        np.testing.assert_array_equal(layout.pack(state), legacy_pack(state))
+
+    @settings(max_examples=40, deadline=None)
+    @given(state=random_states())
+    def test_roundtrip_exact(self, state):
+        layout = StateLayout.for_state(state)
+        restored = layout.unpack(layout.pack(state))
+        assert set(restored) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(restored[key], state[key])
+            assert restored[key].shape == np.asarray(state[key]).shape
+
+    @settings(max_examples=25, deadline=None)
+    @given(state=random_states())
+    def test_module_level_helpers_delegate(self, state):
+        vec = state_to_vector(state)
+        np.testing.assert_array_equal(vec, legacy_pack(state))
+        restored = vector_to_state(vec, state)
+        for key in state:
+            np.testing.assert_array_equal(restored[key], state[key])
+
+
+class TestLayoutCache:
+    def test_same_signature_reuses_layout(self, rng):
+        a = {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=2)}
+        b = {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=2)}
+        assert StateLayout.for_state(a) is StateLayout.for_state(b)
+
+    def test_different_shapes_get_different_layouts(self, rng):
+        a = {"w": rng.normal(size=(3, 2))}
+        b = {"w": rng.normal(size=(2, 3))}
+        assert StateLayout.for_state(a) is not StateLayout.for_state(b)
+
+
+class TestViewsAndAliasing:
+    def test_views_are_zero_copy(self, rng):
+        state = {"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)}
+        layout = StateLayout.for_state(state)
+        vec = layout.pack(state)
+        views = layout.views(vec)
+        for view in views.values():
+            assert view.base is vec
+        # Mutating a view is visible through the vector (that is the point).
+        # Keys are laid out sorted, so "b" occupies the first three slots.
+        views["b"][0] = 123.0
+        assert vec[0] == 123.0
+
+    def test_unpack_returns_owning_copies(self, rng):
+        state = {"w": rng.normal(size=(4, 3))}
+        layout = StateLayout.for_state(state)
+        vec = layout.pack(state)
+        restored = layout.unpack(vec)
+        restored["w"][0, 0] = 999.0
+        assert vec[0] != 999.0
+
+    def test_pack_into_preallocated_out(self, rng):
+        state = {"w": rng.normal(size=(5, 2))}
+        layout = StateLayout.for_state(state)
+        out = layout.empty()
+        returned = layout.pack(state, out=out)
+        assert returned is out
+        np.testing.assert_array_equal(out, legacy_pack(state))
+
+    def test_unpack_into_live_arrays(self, rng):
+        state = {"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)}
+        layout = StateLayout.for_state(state)
+        vec = layout.pack(state)
+        dest = {k: np.zeros_like(v) for k, v in state.items()}
+        bindings = dict(dest)  # unpack_into must write through, not rebind
+        layout.unpack_into(vec, dest)
+        for key in state:
+            np.testing.assert_array_equal(dest[key], state[key])
+            assert dest[key] is bindings[key]
+
+    def test_pack_size_mismatch_raises(self, rng):
+        state = {"w": rng.normal(size=(4, 3))}
+        layout = StateLayout.for_state(state)
+        with pytest.raises(SerializationError):
+            layout.pack({"w": rng.normal(size=(4, 4))})
+
+
+class TestAccumulator:
+    def test_accumulate_matches_sum_of_packed_gradients(self, rng):
+        template = {"w": rng.normal(size=(3, 3)), "b": rng.normal(size=3)}
+        acc = GradientAccumulator(template)
+        total = np.zeros(12)
+        for _ in range(4):
+            grads = {k: rng.normal(size=v.shape) for k, v in template.items()}
+            acc.add(grads)
+            total += legacy_pack(grads)
+        np.testing.assert_array_equal(acc.total, total)
+
+    def test_missing_keys_contribute_zero(self, rng):
+        template = {"w": rng.normal(size=(2, 2)), "b": rng.normal(size=2)}
+        acc = GradientAccumulator(template)
+        acc.add({"b": np.ones(2)})
+        # Sorted layout: "b" first, then the four scalars of "w".
+        np.testing.assert_array_equal(acc.total, [1, 1, 0, 0, 0, 0])
