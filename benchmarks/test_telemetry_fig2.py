@@ -18,10 +18,15 @@ from __future__ import annotations
 from repro.analysis import render_table
 from repro.core import ConstantAlpha, TrainingJobConfig
 from repro.core.runner import DistributedRunner
+import json
+
 from repro.obs import (
     OBSERVABILITY_OFF,
+    SpanStore,
     build_sweep_telemetry,
     read_telemetry,
+    validate_perfetto,
+    write_perfetto_trace,
     write_telemetry,
 )
 
@@ -101,3 +106,16 @@ def test_telemetry_fig2_artifact(benchmark):
     audited = loaded["runs"][0]
     assert bare.telemetry()["digest"] == audited["digest"]
     assert dict(bare.result.counters) == audited["counters"]
+
+    # Perfetto artifact: the causal span tree of the first Fig. 2 run,
+    # schema-validated before upload (the CI gate for the trace export).
+    store = SpanStore.from_trace(runners[0].trace)
+    assert store.lineage_problems() == []
+    trace_path = RESULTS_DIR / "trace_fig2_perfetto.json"
+    event_count = write_perfetto_trace(store, trace_path)
+    exported = json.loads(trace_path.read_text())
+    assert validate_perfetto(exported) == []
+    assert len(exported["traceEvents"]) == event_count
+    # The spans section rode along in the telemetry export too.
+    assert audited["spans"]["lineages"]["total"] > 0
+    assert audited["spans"]["lineage_problems"] == []

@@ -130,6 +130,65 @@ def _profile_panel(payload: dict[str, Any]) -> list[str]:
     ]
 
 
+def _spans_panel(payload: dict[str, Any]) -> list[str]:
+    spans = payload.get("spans")
+    if not spans:
+        return []
+    lines: list[str] = []
+    lineages = spans.get("lineages") or {}
+    fates = ", ".join(f"{k}={v}" for k, v in (lineages.get("fates") or {}).items())
+    lines.append(
+        f"lineages: {lineages.get('total', 0)} workunits — "
+        f"{lineages.get('complete', 0)} complete, "
+        f"{lineages.get('terminated', 0)} terminated"
+        + (f" ({fates})" if fates else "")
+    )
+    problems = spans.get("lineage_problems") or []
+    if problems:
+        lines.append(f"lineage problems: {len(problems)}")
+        lines.extend(f"  - {p}" for p in problems[:5])
+    path = spans.get("critical_path") or {}
+    if path.get("per_hop_totals"):
+        total = path.get("total_s", 0.0)
+        rows = []
+        for name, seconds in path["per_hop_totals"].items():
+            share = 100.0 * seconds / total if total else 0.0
+            rows.append([name, round(seconds, 3), f"{share:.1f}%"])
+        lines.append(
+            render_table(
+                ["hop", "seconds", "share"],
+                rows,
+                title=(
+                    f"critical path ({path.get('hop_count', 0)} hops, "
+                    f"{format_hours(total)} to last epoch)"
+                ),
+            )
+        )
+    staleness = spans.get("staleness") or {}
+    if staleness.get("merges"):
+        lines.append(
+            f"staleness: {staleness['merges']} merges, "
+            f"mean lag {staleness['mean']:.2f} versions, max {staleness['max']}"
+        )
+    stragglers = spans.get("stragglers") or {}
+    rows = []
+    for client, hops in stragglers.items():
+        train = hops.get("client.train")
+        if train:
+            rows.append(
+                [client, train["count"], train["p50_s"], train["p95_s"], train["max_s"]]
+            )
+    if rows:
+        lines.append(
+            render_table(
+                ["client", "trains", "p50 s", "p95 s", "max s"],
+                rows,
+                title="straggler attribution (client.train durations)",
+            )
+        )
+    return lines
+
+
 def _audit_panel(payload: dict[str, Any]) -> list[str]:
     audit = payload.get("audit")
     if audit is None:
@@ -154,6 +213,7 @@ def telemetry_dashboard(payload: dict[str, Any]) -> str:
         _histograms_panel,
         _timers_panel,
         _profile_panel,
+        _spans_panel,
         _audit_panel,
     ):
         part = build(payload)

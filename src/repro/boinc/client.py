@@ -192,6 +192,7 @@ class ClientDaemon:
             self.rng,
             on_error=on_error,
             client_id=self.client_id,
+            wu_id=wu.wu_id,
         )
 
     def _start_compute(self, wu: Workunit, payloads: dict[str, object]) -> None:
@@ -200,11 +201,19 @@ class ClientDaemon:
             self._stop_heartbeat(wu.wu_id)
             if not self.alive:
                 return
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "client.train_done", wu=wu.wu_id, client=self.client_id
+                )
             result, nbytes = self.executor(wu, payloads)
             self._start_upload(wu, result, nbytes)
 
         task = self.resource.submit(wu.work_units, on_computed, label=wu.wu_id)
         self._in_flight[wu.wu_id] = task
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "client.train_start", wu=wu.wu_id, client=self.client_id
+            )
         if self.scheduler.config.heartbeats_enabled:
             self._schedule_heartbeat(wu.wu_id)
 
@@ -296,6 +305,7 @@ class ClientDaemon:
             self.rng,
             on_error=on_error,
             client_id=self.client_id,
+            wu_id=wu.wu_id,
         )
 
     # Server wiring: BoincServer overrides this to route into validation.

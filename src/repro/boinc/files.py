@@ -257,6 +257,7 @@ class WebServer:
         rng: np.random.Generator | None = None,
         on_error=None,
         client_id: str = "",
+        wu_id: str = "",
     ) -> None:
         """Fetch ``names`` for a client; fire ``on_done(payloads)`` when done.
 
@@ -294,6 +295,7 @@ class WebServer:
                     direction="down",
                     reason=reason,
                     client=client_id,
+                    wu=wu_id,
                     files=list(names),
                 )
             error = TransferError(reason=reason, files=tuple(names))
@@ -312,7 +314,12 @@ class WebServer:
         self.bytes_down += total_wire
         if self.trace is not None:
             self.trace.emit(
-                self.sim.now, "web.download", files=list(names), seconds=total_time
+                self.sim.now,
+                "web.download",
+                files=list(names),
+                seconds=total_time,
+                client=client_id,
+                wu=wu_id,
             )
         payloads = self._resolve(names)
         self.sim.schedule(total_time, lambda: on_done(payloads), label="web:download")
@@ -325,6 +332,7 @@ class WebServer:
         rng: np.random.Generator | None = None,
         on_error=None,
         client_id: str = "",
+        wu_id: str = "",
     ) -> None:
         """Client → server transfer of a result file of ``nbytes``."""
         seconds = link.transfer_time(nbytes, rng, now=self.sim.now)
@@ -341,6 +349,7 @@ class WebServer:
                     direction="up",
                     reason=reason,
                     client=client_id,
+                    wu=wu_id,
                     nbytes=nbytes,
                 )
             error = TransferError(reason=reason)
@@ -348,5 +357,12 @@ class WebServer:
             return
         self.bytes_up += nbytes
         if self.trace is not None:
-            self.trace.emit(self.sim.now, "web.upload", nbytes=nbytes, seconds=seconds)
+            self.trace.emit(
+                self.sim.now,
+                "web.upload",
+                nbytes=nbytes,
+                seconds=seconds,
+                client=client_id,
+                wu=wu_id,
+            )
         self.sim.schedule(seconds, on_done, label="web:upload")

@@ -29,6 +29,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..simulation.engine import Simulator
 from ..simulation.tracing import Trace
 from .assimilator import Assimilator
 from .workunit import Workunit
@@ -95,10 +96,12 @@ class QuorumAssimilator:
         inner: Assimilator,
         config: QuorumConfig,
         trace: Trace | None = None,
+        sim: Simulator | None = None,
     ) -> None:
         self.inner = inner
         self.config = config
         self.trace = trace
+        self.sim = sim
         self._units: dict[str, _LogicalUnit] = {}
         self.quorums_reached = 0
         self.disagreements = 0
@@ -128,9 +131,10 @@ class QuorumAssimilator:
             canonical_wu, canonical_payload = group[0]
             if self.trace is not None:
                 self.trace.emit(
-                    0.0,
+                    self.sim.now if self.sim is not None else 0.0,
                     "quorum.reached",
                     logical=key,
+                    canonical=canonical_wu.wu_id,
                     replicas_seen=len(unit.results),
                 )
             self.inner.assimilate(canonical_wu, canonical_payload, on_done)

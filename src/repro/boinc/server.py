@@ -79,7 +79,7 @@ class BoincServer:
     # -- result path -----------------------------------------------------------
     def _handle_accepted_result(self, wu: Workunit, payload: object) -> None:
         host = wu.current_attempt.client_id
-        verdict = self.validator.validate(payload, now=self.sim.now)
+        verdict = self.validator.validate(payload, now=self.sim.now, wu_id=wu.wu_id)
         if not verdict.ok:
             self.trace.emit(
                 self.sim.now, "server.invalid_result", wu=wu.wu_id, reason=verdict.reason

@@ -50,7 +50,9 @@ class ParameterValidator:
         self.accepted = 0
         self.rejected = 0
 
-    def validate(self, payload: object, now: float = 0.0) -> ValidationResult:
+    def validate(
+        self, payload: object, now: float = 0.0, wu_id: str = ""
+    ) -> ValidationResult:
         """Check one uploaded result payload (vector or client update)."""
         result = self._check(payload)
         if result.ok:
@@ -58,7 +60,9 @@ class ParameterValidator:
         else:
             self.rejected += 1
         if self.trace is not None:
-            self.trace.emit(now, "validator.checked", ok=result.ok, reason=result.reason)
+            self.trace.emit(
+                now, "validator.checked", ok=result.ok, reason=result.reason, wu=wu_id
+            )
         return result
 
     def _check(self, payload: object) -> ValidationResult:

@@ -16,6 +16,9 @@ Commands
     Quick α sweep at a chosen P/C/T.
 ``dashboard``
     Render an exported telemetry JSON (``--metrics-out``) as ASCII panels.
+``trace``
+    Analyze a raw trace dump (``--trace-out``): workunit lineage summary,
+    hop-by-hop critical path, per-workunit drill-down, Perfetto export.
 """
 
 from __future__ import annotations
@@ -47,9 +50,13 @@ from .core.checkpoint import load_checkpoint, save_checkpoint
 from .core.runner import DistributedRunner
 from .obs import (
     ObservabilityConfig,
+    SpanStore,
     build_sweep_telemetry,
     read_telemetry,
+    read_trace_jsonl,
+    write_perfetto_trace,
     write_telemetry,
+    write_trace_jsonl,
 )
 from .simulation import BernoulliSubtaskModel
 from .simulation.chaos import (
@@ -218,6 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the wall-clock profiler (per event-label attribution)",
     )
+    obs_g.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="dump the raw trace-record stream as schema-versioned JSONL "
+        "(readable by 'repro trace')",
+    )
+    obs_g.add_argument(
+        "--trace-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the in-memory trace to the newest N records "
+        "(ring/drop policy; drops are counted in trace.dropped)",
+    )
 
     single_p = sub.add_parser("single", help="serial single-instance baseline")
     single_p.add_argument("--epochs", type=int, default=10)
@@ -287,6 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
         "dashboard", help="render exported telemetry JSON as ASCII panels"
     )
     dash_p.add_argument("file", metavar="FILE", help="telemetry JSON to render")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="analyze a trace dump ('repro run --trace-out'): lineage "
+        "summary, critical path, Perfetto export",
+    )
+    trace_p.add_argument("file", metavar="FILE", help="trace JSONL to analyze")
+    trace_p.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the hop-by-hop critical path (sums to wall clock)",
+    )
+    trace_p.add_argument(
+        "--wu",
+        default=None,
+        metavar="ID",
+        help="drill into one workunit's span tree",
+    )
+    trace_p.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="FILE",
+        help="export Chrome/Perfetto trace-event JSON "
+        "(load at ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -402,7 +449,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     resume = load_checkpoint(args.resume) if args.resume else None
-    obs_config = ObservabilityConfig(audit=not args.no_audit, profile=args.profile)
+    obs_config = ObservabilityConfig(
+        audit=not args.no_audit,
+        profile=args.profile,
+        trace_max_records=args.trace_max_records,
+    )
     runner = DistributedRunner(config, resume_from=resume, observability=obs_config)
     result = runner.run()
     _print_run(result)
@@ -410,6 +461,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         telemetry = runner.telemetry()
         write_telemetry(args.metrics_out, telemetry)
         print(f"telemetry written to {args.metrics_out} (digest {telemetry['digest']})")
+    if args.trace_out:
+        count = write_trace_jsonl(
+            runner.trace, args.trace_out, meta={"label": result.label, "seed": args.seed}
+        )
+        print(f"trace written to {args.trace_out} ({count} records)")
     if args.checkpoint_out:
         save_checkpoint(args.checkpoint_out, runner.checkpoint())
         print(f"checkpoint written to {args.checkpoint_out}")
@@ -570,6 +626,89 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    header, records = read_trace_jsonl(args.file)
+    dropped = (header.get("counters") or {}).get("trace.dropped", 0)
+    store = SpanStore.from_records(records, dropped=dropped)
+
+    if args.wu:
+        if args.wu not in store.lineages:
+            known = ", ".join(sorted(store.lineages)[:8])
+            raise SystemExit(f"unknown workunit {args.wu!r} (known: {known}, ...)")
+        print("\n".join(store.describe_lineage(args.wu)))
+        return 0
+
+    counts = store.lineage_counts()
+    fates = ", ".join(f"{k}={v}" for k, v in counts["fates"].items())
+    print(
+        f"{len(records)} records -> {len(store.spans)} spans, "
+        f"{counts['total']} workunit lineages "
+        f"({counts['complete']} complete, {counts['terminated']} terminated"
+        + (f"; {fates}" if fates else "")
+        + ")"
+    )
+    if dropped:
+        print(f"warning: bounded trace dropped {dropped} records; history is partial")
+    problems = store.lineage_problems()
+    if problems:
+        print(f"{len(problems)} lineage problem(s):")
+        for problem in problems[:10]:
+            print(f"  - {problem}")
+    rows = [
+        [name, stats["count"], round(stats["total_s"], 3),
+         round(stats["mean_s"], 3), round(stats["p95_s"], 3)]
+        for name, stats in store.hop_summary().items()
+    ]
+    print(render_table(["span", "n", "total s", "mean s", "p95 s"], rows,
+                       title="span durations"))
+    staleness = store.staleness_summary()
+    if staleness["merges"]:
+        print(
+            f"staleness: {staleness['merges']} merges, mean lag "
+            f"{staleness['mean']:.2f} versions, max {staleness['max']}"
+        )
+
+    if args.critical_path:
+        path = store.critical_path()
+        rows = [
+            [
+                i,
+                hop.name,
+                round(hop.start, 3),
+                round(hop.end, 3),
+                round(hop.duration, 3),
+                hop.wu or "",
+                hop.client or "",
+            ]
+            for i, hop in enumerate(path.hops)
+        ]
+        print(
+            render_table(
+                ["#", "hop", "start s", "end s", "dur s", "wu", "client"],
+                rows,
+                title=f"critical path ({format_hours(path.total_s)} total)",
+            )
+        )
+        totals = [
+            [name, round(seconds, 3), f"{100 * seconds / path.total_s:.1f}%"]
+            for name, seconds in path.per_hop_totals().items()
+        ] if path.total_s else []
+        if totals:
+            print(render_table(["hop", "total s", "share"], totals,
+                               title="critical-path time by hop"))
+        print(
+            f"critical path: {len(path.hops)} hops, "
+            f"{path.total_s:.3f}s total = wall clock to last epoch "
+            f"({path.end_s:.3f}s)"
+        )
+
+    if args.perfetto:
+        count = write_perfetto_trace(store, args.perfetto)
+        print(f"perfetto trace written to {args.perfetto} ({count} events); "
+              "load it at ui.perfetto.dev")
+    return 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     payload = read_telemetry(args.file)
     if payload["schema"].endswith(".sweep"):
@@ -587,6 +726,7 @@ _COMMANDS = {
     "preempt-model": _cmd_preempt_model,
     "alpha-study": _cmd_alpha_study,
     "dashboard": _cmd_dashboard,
+    "trace": _cmd_trace,
 }
 
 

@@ -147,6 +147,10 @@ class ParameterServerPool:
         # zero live servers; the runner uses it to restore the server
         # parameter copy from the latest epoch checkpoint.
         self.on_total_outage_restart: Callable[[], None] | None = None
+        # Causality handshake for span tracing: while ``republish_fn`` runs
+        # this holds the workunit whose merge produced the republished copy,
+        # so the publish site can stamp ``params.publish`` with its source.
+        self.publishing_wu: str | None = None
         self.stats = AssimilationStats()
         # epoch -> list of per-assimilation validation accuracies
         self.epoch_accuracies: dict[int, list[float]] = {}
@@ -240,20 +244,28 @@ class ParameterServerPool:
         _, accuracy = self.evaluate_fn(item.merged_vec)
         self.epoch_accuracies.setdefault(wu.epoch, []).append(accuracy)
         if self.republish_fn is not None:
-            self.republish_fn(item.merged_vec)
+            self.publishing_wu = wu.wu_id
+            try:
+                self.republish_fn(item.merged_vec)
+            finally:
+                self.publishing_wu = None
         self.stats.processed += 1
         self.stats.total_service_time += self.sim.now - item.started_at
         if self.trace is not None:
-            self.trace.emit(
-                self.sim.now,
-                "ps.assimilated",
+            fields = dict(
                 wu=wu.wu_id,
                 epoch=wu.epoch,
                 rule=self.rule.describe(),
                 accuracy=accuracy,
                 queue_wait=item.started_at - item.enqueued_at,
                 service=self.sim.now - item.started_at,
+                client=item.update.client_id,
+                base_version=item.update.base_version,
             )
+            alpha = self.rule.merge_weight(wu.epoch + 1)
+            if alpha is not None:
+                fields["alpha"] = alpha
+            self.trace.emit(self.sim.now, "ps.assimilated", **fields)
         if item in self._inflight:
             self._inflight.remove(item)
         self._busy_workers -= 1

@@ -162,6 +162,15 @@ class UpdateRule:
         """Short label used in result tables."""
         return type(self).__name__
 
+    def merge_weight(self, epoch: int) -> float | None:
+        """Blending weight the rule would use for a merge at ``epoch``.
+
+        Purely informational (trace/span attribution joins it to per-merge
+        staleness); None when the rule has no single scalar weight.
+        ``epoch`` is 1-based, matching :meth:`apply`.
+        """
+        return None
+
     @staticmethod
     def _require_gradient(update: ClientUpdate) -> np.ndarray:
         if update.gradient is None:
@@ -200,6 +209,9 @@ class VCASGDRule(UpdateRule):
 
     def describe(self) -> str:
         return f"VC-ASGD({self.schedule.describe()})"
+
+    def merge_weight(self, epoch: int) -> float | None:
+        return float(self.schedule.alpha_at(epoch))
 
 
 @dataclass
@@ -265,6 +277,9 @@ class EASGDRule(UpdateRule):
 
     def describe(self) -> str:
         return f"EASGD(beta={self.moving_rate})"
+
+    def merge_weight(self, epoch: int) -> float | None:
+        return float(self.moving_rate)
 
 
 @dataclass

@@ -101,15 +101,14 @@ class DistributedRunner:
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.sim = Simulator()
-        self.trace = Trace()
+        obs_config = (
+            observability if observability is not None else ObservabilityConfig()
+        )
+        self.trace = Trace(max_records=obs_config.trace_max_records)
         # Observability bundle (metrics collector + invariant auditor by
         # default).  Attached before any component can emit, so the
         # auditor sees the complete event stream from the first publish.
-        self.obs = RunObservability(
-            observability if observability is not None else ObservabilityConfig(),
-            trace=self.trace,
-            sim=self.sim,
-        )
+        self.obs = RunObservability(obs_config, trace=self.trace, sim=self.sim)
         self._resume = resume_from
         self._time_offset = 0.0
         # The server-side merge rule.  Deep-copied so stateful rules
@@ -245,6 +244,7 @@ class DistributedRunner:
                     replicas=config.replicas, min_quorum=config.quorum
                 ),
                 trace=self.trace,
+                sim=self.sim,
             )
             self.quorum.on_decided = self._cancel_sibling_replicas
             assimilator = self.quorum
@@ -540,9 +540,13 @@ class DistributedRunner:
     def _republish_params(self, vec: np.ndarray) -> None:
         """Expose the merged server copy as the downloadable parameter file."""
         self._param_publish_count += 1
-        self.trace.emit(
-            self.sim.now, "params.publish", version=self._param_publish_count
-        )
+        # The pool flags which workunit's merge is being republished while
+        # its republish_fn runs; initial/restore publishes carry no source.
+        source_wu = getattr(getattr(self, "pool", None), "publishing_wu", None)
+        fields: dict = {"version": self._param_publish_count}
+        if source_wu is not None:
+            fields["wu"] = source_wu
+        self.trace.emit(self.sim.now, "params.publish", **fields)
         self.rule.snapshot_sent(self._param_publish_count, vec)
         self.server.catalog.publish(
             ServerFile(

@@ -10,7 +10,11 @@ Four cooperating pieces, all optional and all zero-cost when disabled:
   laws over the same stream;
 * :mod:`.profiler` — wall-clock attribution per engine event label;
 * :mod:`.telemetry` — the schema-versioned JSON export with its
-  determinism digest.
+  determinism digest;
+* :mod:`.spans` — offline causal-span reconstruction (workunit lineage,
+  critical path, straggler/staleness attribution) over the recorded
+  trace, with :mod:`.trace_io` JSONL persistence and
+  :mod:`.trace_export` Chrome/Perfetto trace-event output.
 
 ``RunObservability`` (in :mod:`.runtime`) bundles them for a run.
 """
@@ -27,6 +31,20 @@ from .metrics import (
 )
 from .profiler import SimProfiler
 from .runtime import OBSERVABILITY_OFF, ObservabilityConfig, RunObservability
+from .spans import CriticalPath, Lineage, Span, SpanStore, span_summary
+from .trace_export import (
+    build_perfetto_trace,
+    validate_perfetto,
+    write_perfetto_trace,
+)
+from .trace_io import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    iter_trace_jsonl,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
 from .telemetry import (
     DIGEST_FIELDS,
     TELEMETRY_SCHEMA,
@@ -62,4 +80,18 @@ __all__ = [
     "read_telemetry",
     "run_digest",
     "write_telemetry",
+    "Span",
+    "Lineage",
+    "CriticalPath",
+    "SpanStore",
+    "span_summary",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "iter_trace_jsonl",
+    "build_perfetto_trace",
+    "write_perfetto_trace",
+    "validate_perfetto",
 ]

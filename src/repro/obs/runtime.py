@@ -24,15 +24,27 @@ __all__ = ["ObservabilityConfig", "OBSERVABILITY_OFF", "RunObservability"]
 
 @dataclass(frozen=True)
 class ObservabilityConfig:
-    """Which observers to attach to a run."""
+    """Which observers to attach to a run.
+
+    ``spans`` gates the *offline* causal-span reconstruction
+    (``repro.obs.spans``) run over the recorded trace at telemetry time;
+    it attaches nothing to the hot path, so toggling it cannot perturb
+    the simulation.  ``trace_max_records`` bounds the trace's in-memory
+    record window (ring/drop policy, ``trace.dropped`` counter); None
+    keeps the unbounded default.
+    """
 
     metrics: bool = True
     audit: bool = True
     profile: bool = False
     strict_audit: bool = False
+    spans: bool = True
+    trace_max_records: int | None = None
 
 
-OBSERVABILITY_OFF = ObservabilityConfig(metrics=False, audit=False, profile=False)
+OBSERVABILITY_OFF = ObservabilityConfig(
+    metrics=False, audit=False, profile=False, spans=False
+)
 
 
 class RunObservability:

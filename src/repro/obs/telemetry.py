@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import ObservabilityError
+from .spans import span_summary
 
 __all__ = [
     "TELEMETRY_SCHEMA",
@@ -95,6 +96,10 @@ def build_run_telemetry(runner: Any) -> dict[str, Any]:
         "profile": (
             obs.profiler.report() if obs.profiler is not None else None
         ),
+        # Offline causal-span reconstruction (repro.obs.spans).  Like the
+        # other observability sections it stays out of DIGEST_FIELDS, so
+        # toggling spans cannot change the determinism digest.
+        "spans": span_summary(runner.trace) if obs.config.spans else None,
     }
     payload["digest"] = run_digest(payload)
     return payload

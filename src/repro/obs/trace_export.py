@@ -1,0 +1,195 @@
+"""Chrome/Perfetto trace-event export of the causal span tree.
+
+Converts a :class:`~repro.obs.spans.SpanStore` into the Trace Event
+Format JSON that ``chrome://tracing`` and https://ui.perfetto.dev load
+directly: one "process" track per actor (server, parameter server, run
+timeline, each KV store, each client), "X" complete events for spans,
+and "s"/"t"/"f" flow arrows stitching each workunit's lineage across
+tracks — generate on the server, hop to the client for train, back to
+the server for validation, onto the PS for the merge.
+
+Simulated seconds map to trace microseconds, so one sim-second renders
+as 1 ms in the UI — readable at default zoom for runs lasting simulated
+hours.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .spans import Span, SpanStore
+
+__all__ = ["build_perfetto_trace", "write_perfetto_trace", "validate_perfetto"]
+
+# sim seconds -> trace-event microseconds (1 s == 1000 us keeps runs
+# lasting simulated hours readable at Perfetto's default zoom).
+_US_PER_S = 1_000.0
+
+# Track ordering: fixed actors first, then clients, then KV stores.
+_FIXED_TRACKS = ("run", "server", "ps")
+
+
+def _track_order(store: SpanStore) -> list[str]:
+    tracks = set(store.tracks())
+    ordered = [t for t in _FIXED_TRACKS if t in tracks]
+    ordered += sorted(t for t in tracks if t not in _FIXED_TRACKS and not t.startswith("kv:"))
+    ordered += sorted(t for t in tracks if t.startswith("kv:"))
+    return ordered
+
+
+def _args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = {}
+    if span.wu is not None:
+        args["wu"] = span.wu
+    if span.client is not None:
+        args["client"] = span.client
+    for key, value in span.attrs.items():
+        if value is not None:
+            args[key] = value
+    return args
+
+
+def build_perfetto_trace(store: SpanStore) -> dict[str, Any]:
+    """The trace-event document (``json.dump``-ready) for a span store."""
+    events: list[dict[str, Any]] = []
+    pids = {track: i + 1 for i, track in enumerate(_track_order(store))}
+    for track, pid in pids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for span in store.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": pids[span.track],
+                "tid": 0,
+                "ts": span.start * _US_PER_S,
+                "dur": max(span.duration, 0.0) * _US_PER_S,
+                "args": _args(span),
+            }
+        )
+    events.extend(_flow_events(store, pids))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _flow_events(
+    store: SpanStore, pids: dict[str, int]
+) -> list[dict[str, Any]]:
+    """One flow chain per lineage, linking its hops across tracks.
+
+    Perfetto draws an arrow wherever consecutive steps sit on different
+    tracks — exactly the replica's causal hand-offs (server -> client ->
+    server -> PS).  Same-track steps are skipped; the containment on the
+    track already shows the order.
+    """
+    flows: list[dict[str, Any]] = []
+    for flow_id, (wu, lineage) in enumerate(sorted(store.lineages.items()), start=1):
+        chain: list[Span] = []
+        for span in store.lineage_spans(wu):
+            if span.span_id == lineage.root or span.name == "wu.attempt":
+                continue
+            if not chain or chain[-1].track != span.track:
+                chain.append(span)
+        if len(chain) < 2:
+            continue
+        for step, span in enumerate(chain):
+            ph = "s" if step == 0 else ("f" if step == len(chain) - 1 else "t")
+            event = {
+                "ph": ph,
+                "id": flow_id,
+                "name": f"lineage:{wu}",
+                "cat": "lineage",
+                "pid": pids[span.track],
+                "tid": 0,
+                # Bind to the start edge of the span; finish steps attach
+                # at the enclosing slice, which needs bp for "enclosing".
+                "ts": span.start * _US_PER_S,
+            }
+            if ph == "f":
+                event["bp"] = "e"
+            flows.append(event)
+    return flows
+
+
+def write_perfetto_trace(store: SpanStore, path: str | Path) -> int:
+    """Write the trace-event JSON; returns the event count."""
+    doc = build_perfetto_trace(store)
+    problems = validate_perfetto(doc)
+    if problems:  # refuse to write a file the UI would reject
+        raise ValueError("invalid trace-event doc: " + "; ".join(problems[:5]))
+    Path(path).write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+    return len(doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Validation (the CI gate for exported artifacts)
+# ---------------------------------------------------------------------------
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "pid", "ts", "dur"),
+    "M": ("name", "pid", "args"),
+    "s": ("id", "pid", "ts"),
+    "t": ("id", "pid", "ts"),
+    "f": ("id", "pid", "ts"),
+}
+
+
+def validate_perfetto(doc: Any) -> list[str]:
+    """Structural problems in a trace-event document (empty == valid).
+
+    Checks the subset of the Trace Event Format contract that the
+    exporter relies on: a ``traceEvents`` array, known phases with their
+    required fields, non-negative timestamps/durations, and flow chains
+    that start with "s" and end with "f".
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a traceEvents array"]
+    flow_phases: dict[Any, list[str]] = {}
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        required = _REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for key in required:
+            if key not in event:
+                problems.append(f"event {i} (ph={ph}): missing {key!r}")
+        if ph == "X":
+            ts, dur = event.get("ts", 0), event.get("dur", 0)
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: negative dur {dur!r}")
+        if ph in ("s", "t", "f"):
+            flow_phases.setdefault(event.get("id"), []).append(ph)
+    for flow_id, phases in flow_phases.items():
+        if phases[0] != "s":
+            problems.append(f"flow {flow_id}: does not start with 's'")
+        if phases[-1] != "f":
+            problems.append(f"flow {flow_id}: does not end with 'f'")
+        if len(phases) < 2:
+            problems.append(f"flow {flow_id}: fewer than two steps")
+    return problems

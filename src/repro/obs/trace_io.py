@@ -1,0 +1,158 @@
+"""Trace persistence: schema-versioned JSONL dump/load of TraceRecords.
+
+``repro run --trace-out run.jsonl`` writes the raw record stream with
+this module; ``repro trace run.jsonl`` (and any offline tooling) reads it
+back into :class:`~repro.simulation.tracing.TraceRecord` objects that are
+field-for-field equivalent to the live trace, so span reconstruction and
+Perfetto export work identically on live and replayed traces.
+
+Format: line 1 is a header object ``{"schema": "repro.trace",
+"version": 1, ...}``; every following line is one record as
+``{"time": ..., "kind": ..., "fields": {...}}``.  Keys are sorted and
+floats serialized with ``repr`` fidelity, so identical runs produce
+byte-identical files — the dump itself is a reproducibility artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from ..simulation.tracing import Trace, TraceRecord
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "iter_trace_jsonl",
+    "TraceSchemaError",
+]
+
+TRACE_SCHEMA = "repro.trace"
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """The file is not a readable repro trace dump."""
+
+
+def _sanitize(value: Any) -> Any:
+    """JSON-encodable copy of a record field.
+
+    Emit sites mostly pass python scalars, but a few fields carry numpy
+    scalars (accuracies, latencies) or lists of filenames; anything truly
+    opaque degrades to ``repr`` rather than failing the dump.
+    """
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_sanitize(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    return repr(value)
+
+
+def write_trace_jsonl(
+    trace: Trace | Iterable[TraceRecord],
+    path: str | Path,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> int:
+    """Dump the record stream to ``path``; returns the record count.
+
+    ``meta`` (seed, config digest, ...) is embedded in the header line.
+    When given a live :class:`Trace`, its counters — including
+    ``trace.dropped`` for bounded traces — ride along in the header so a
+    replay knows whether it is looking at a complete history.
+    """
+    path = Path(path)
+    header: dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "version": TRACE_SCHEMA_VERSION,
+    }
+    if isinstance(trace, Trace):
+        header["counters"] = dict(sorted(trace.counters.items()))
+        if trace.max_records is not None:
+            header["max_records"] = trace.max_records
+    if meta:
+        header["meta"] = _sanitize(meta)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in trace:
+            fh.write(
+                json.dumps(
+                    {
+                        "time": record.time,
+                        "kind": record.kind,
+                        "fields": _sanitize(record.fields),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def _parse_header(line: str, path: Path) -> dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"{path}: first line is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        raise TraceSchemaError(
+            f"{path}: missing {TRACE_SCHEMA!r} header (is this a trace dump?)"
+        )
+    version = header.get("version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"{path}: unsupported trace schema version {version!r} "
+            f"(this build reads version {TRACE_SCHEMA_VERSION})"
+        )
+    return header
+
+
+def iter_trace_jsonl(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream records from a dump without materializing the list."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise TraceSchemaError(f"{path}: empty file")
+        _parse_header(first, path)
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: bad record: {exc}") from exc
+            yield TraceRecord(
+                time=float(obj["time"]),
+                kind=str(obj["kind"]),
+                fields=dict(obj.get("fields", {})),
+            )
+
+
+def read_trace_jsonl(
+    path: str | Path,
+) -> tuple[dict[str, Any], list[TraceRecord]]:
+    """Load a dump: returns ``(header, records)``."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise TraceSchemaError(f"{path}: empty file")
+        header = _parse_header(first, path)
+    return header, list(iter_trace_jsonl(path))

@@ -8,7 +8,7 @@ tests a stable surface to assert scheduling behaviour against.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -42,10 +42,19 @@ class Trace:
     when nobody is listening: a single truthiness check on an empty list.
     Observers must be pure readers; mutating simulation state or drawing
     randomness from inside one would break bit-exact reproducibility.
+
+    ``max_records`` bounds the in-memory record list: once full, each new
+    record evicts the oldest (ring/drop policy) and bumps the
+    ``trace.dropped`` counter.  Counters and observers still see every
+    event, so metrics/audit stay exact; only the replayable record window
+    shrinks.  The default (None) keeps the historical unbounded behaviour.
     """
 
-    def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+    def __init__(self, max_records: int | None = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None for unbounded)")
+        self.max_records = max_records
+        self._records: deque[TraceRecord] = deque(maxlen=max_records)
         self.counters: Counter[str] = Counter()
         self._observers: list[Any] = []
 
@@ -62,6 +71,10 @@ class Trace:
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an event at simulated ``time``."""
         record = TraceRecord(time, kind, fields)
+        if self.max_records is not None and len(self._records) == self.max_records:
+            # deque(maxlen=...) silently evicts; account for it explicitly
+            # so bounded runs can report how much history they lost.
+            self.counters["trace.dropped"] += 1
         self._records.append(record)
         self.counters[kind] += 1
         if self._observers:

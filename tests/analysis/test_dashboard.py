@@ -1,0 +1,133 @@
+"""Dashboard rendering: golden output on a hand-built payload, plus
+structural checks on a real seeded run (including the new spans panel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dashboard import (
+    _spans_panel,
+    sweep_dashboard,
+    telemetry_dashboard,
+)
+from repro.core.runner import DistributedRunner
+from repro.obs import build_sweep_telemetry
+
+from ..core.test_runner import tiny_config
+
+
+def synthetic_payload() -> dict:
+    """A minimal, fully deterministic telemetry document."""
+    return {
+        "schema": "repro.telemetry",
+        "schema_version": 1,
+        "label": "P1C2T2",
+        "seed": 7,
+        "stopped_reason": "max_epochs",
+        "total_time_s": 7200.0,
+        "config": {
+            "num_param_servers": 1,
+            "num_clients": 2,
+            "max_concurrent_subtasks": 2,
+            "num_shards": 4,
+            "store_kind": "eventual",
+            "rule": "vcasgd",
+        },
+        "epochs": [],
+        "counters": {"assimilations": 8, "timeouts": 1},
+        "metrics": None,
+        "audit": {"ok": True, "checks": 10, "records_seen": 100, "violations": []},
+        "profile": None,
+        "spans": {
+            "lineages": {
+                "total": 8,
+                "complete": 7,
+                "terminated": 1,
+                "fates": {"merged": 7, "exhausted:timeout": 1},
+            },
+            "lineage_problems": [],
+            "critical_path": {
+                "start_s": 0.0,
+                "end_s": 7200.0,
+                "total_s": 7200.0,
+                "hop_count": 4,
+                "per_hop_totals": {"client.train": 6400.0, "ps.service": 800.0},
+            },
+            "stragglers": {
+                "client-000": {
+                    "client.train": {
+                        "count": 4, "p50_s": 150.0, "p95_s": 160.0, "max_s": 161.0
+                    }
+                },
+            },
+            "staleness": {"merges": 7, "mean": 2.5, "max": 4, "by_client": {}},
+            "dropped_records": 0,
+        },
+        "digest": "deadbeef",
+    }
+
+
+GOLDEN_SPANS_PANEL = """\
+lineages: 8 workunits — 7 complete, 1 terminated (merged=7, exhausted:timeout=1)
+critical path (4 hops, 2.00 h to last epoch)
+hop          | seconds | share
+-------------+---------+------
+client.train | 6400    | 88.9%
+ps.service   | 800     | 11.1%
+staleness: 7 merges, mean lag 2.50 versions, max 4
+straggler attribution (client.train durations)
+client     | trains | p50 s | p95 s | max s
+-----------+--------+-------+-------+------
+client-000 | 4      | 150   | 160   | 161"""
+
+
+class TestSpansPanelGolden:
+    def test_golden_output(self):
+        rendered = "\n".join(_spans_panel(synthetic_payload()))
+        # render_table pads cells with trailing spaces; compare modulo that.
+        normalize = lambda text: [line.rstrip() for line in text.splitlines()]
+        assert normalize(rendered) == normalize(GOLDEN_SPANS_PANEL)
+
+    def test_absent_section_renders_nothing(self):
+        payload = synthetic_payload()
+        payload["spans"] = None
+        assert _spans_panel(payload) == []
+
+    def test_lineage_problems_surface(self):
+        payload = synthetic_payload()
+        payload["spans"]["lineage_problems"] = ["wu-x: no terminal fate"]
+        rendered = "\n".join(_spans_panel(payload))
+        assert "lineage problems: 1" in rendered
+        assert "wu-x: no terminal fate" in rendered
+
+    def test_full_dashboard_includes_panel(self):
+        rendered = telemetry_dashboard(synthetic_payload())
+        assert "lineages: 8 workunits" in rendered
+        assert "audit: OK" in rendered
+
+
+class TestSeededRunDashboard:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        runner = DistributedRunner(tiny_config())
+        runner.run()
+        return runner
+
+    def test_panels_render_from_live_telemetry(self, runner):
+        rendered = telemetry_dashboard(runner.telemetry())
+        assert f"run {runner.result.label}" in rendered
+        assert "run counters" in rendered
+        assert "lineages:" in rendered
+        assert "critical path" in rendered
+        assert "straggler attribution" in rendered
+        assert "audit: OK" in rendered
+
+    def test_rendering_is_deterministic(self, runner):
+        payload = runner.telemetry()
+        assert telemetry_dashboard(payload) == telemetry_dashboard(payload)
+
+    def test_sweep_dashboard_row_per_run(self, runner):
+        payload = build_sweep_telemetry([runner.telemetry()])
+        rendered = sweep_dashboard(payload)
+        assert runner.result.label in rendered
+        assert "1 runs" in rendered

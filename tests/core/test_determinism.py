@@ -75,6 +75,32 @@ def test_digest_is_over_the_deterministic_core_only():
     runner = run_with("vcasgd", FULL_OBS)
     payload = runner.telemetry()
     stripped = {
-        k: v for k, v in payload.items() if k not in ("metrics", "audit", "profile")
+        k: v
+        for k, v in payload.items()
+        if k not in ("metrics", "audit", "profile", "spans")
     }
     assert run_digest(stripped) == payload["digest"]
+
+
+def test_spans_on_vs_off_bit_identical():
+    """The span layer is offline reconstruction: toggling it must leave
+    the physics, the digest, and the raw record stream untouched."""
+    with_spans = run_with("vcasgd", ObservabilityConfig(spans=True))
+    without = run_with("vcasgd", ObservabilityConfig(spans=False))
+    assert fingerprint(with_spans) == fingerprint(without)
+    tel_on, tel_off = with_spans.telemetry(), without.telemetry()
+    assert tel_on["digest"] == tel_off["digest"]
+    # The section itself gates on the config ...
+    assert tel_on["spans"] is not None
+    assert tel_off["spans"] is None
+    # ... and the records both runs produced are bit-identical.
+    records_on = [(r.time, r.kind, r.fields) for r in with_spans.trace]
+    records_off = [(r.time, r.kind, r.fields) for r in without.trace]
+    assert records_on == records_off
+
+
+def test_span_reconstruction_is_deterministic():
+    from repro.obs import span_summary
+
+    runner = run_with("vcasgd", ObservabilityConfig())
+    assert span_summary(runner.trace) == span_summary(runner.trace)

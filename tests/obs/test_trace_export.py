@@ -1,0 +1,106 @@
+"""Perfetto trace-event export: structure, flows, and the validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.obs.spans import SpanStore
+from repro.obs.trace_export import (
+    build_perfetto_trace,
+    validate_perfetto,
+    write_perfetto_trace,
+)
+
+from ..core.test_runner import tiny_config
+
+
+@pytest.fixture(scope="module")
+def store():
+    runner = DistributedRunner(tiny_config())
+    runner.run()
+    return SpanStore.from_trace(runner.trace)
+
+
+@pytest.fixture(scope="module")
+def doc(store):
+    return build_perfetto_trace(store)
+
+
+class TestDocumentStructure:
+    def test_valid_per_own_validator(self, doc):
+        assert validate_perfetto(doc) == []
+
+    def test_one_named_process_per_track(self, store, doc):
+        metadata = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {m["args"]["name"] for m in metadata} == set(store.tracks())
+        # pids are unique per track
+        assert len({m["pid"] for m in metadata}) == len(metadata)
+
+    def test_every_span_is_a_complete_event(self, store, doc):
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(store.spans)
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_microsecond_scaling(self, store, doc):
+        train = next(s for s in store.spans if s.name == "client.train")
+        event = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "client.train"
+            and e["args"].get("wu") == train.wu
+        )
+        assert event["ts"] == pytest.approx(train.start * 1000.0)
+        assert event["dur"] == pytest.approx(train.duration * 1000.0)
+
+    def test_flow_chains_link_lineages_across_tracks(self, store, doc):
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert flows, "expected flow events for lineage hand-offs"
+        by_id: dict = {}
+        for event in flows:
+            by_id.setdefault(event["id"], []).append(event)
+        for chain in by_id.values():
+            assert chain[0]["ph"] == "s"
+            assert chain[-1]["ph"] == "f"
+            # A flow only exists if it actually crosses tracks.
+            assert len({e["pid"] for e in chain}) > 1
+
+    def test_json_serializable(self, doc, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(doc))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestWriteAndValidate:
+    def test_write_emits_valid_json(self, store, tmp_path):
+        path = tmp_path / "perfetto.json"
+        count = write_perfetto_trace(store, path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count
+        assert validate_perfetto(loaded) == []
+
+    def test_validator_catches_missing_fields(self):
+        assert validate_perfetto({"traceEvents": [{"ph": "X", "name": "a"}]})
+        assert validate_perfetto({"traceEvents": [{"ph": "??"}]})
+        assert validate_perfetto([]) == [
+            "document must be an object with a traceEvents array"
+        ]
+
+    def test_validator_catches_negative_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "ts": 0, "dur": -5},
+        ]}
+        assert any("negative dur" in p for p in validate_perfetto(doc))
+
+    def test_validator_catches_broken_flow(self):
+        doc = {"traceEvents": [
+            {"ph": "t", "id": 1, "pid": 1, "ts": 0},
+            {"ph": "f", "id": 1, "pid": 2, "ts": 1},
+        ]}
+        assert any("does not start with 's'" in p for p in validate_perfetto(doc))

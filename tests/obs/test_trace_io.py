@@ -1,0 +1,120 @@
+"""Trace JSONL dump/load: schema versioning, fidelity, byte-stability."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.obs.spans import SpanStore
+from repro.obs.trace_io import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    iter_trace_jsonl,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.simulation.tracing import Trace, TraceRecord
+
+from ..core.test_runner import tiny_config
+
+
+@pytest.fixture(scope="module")
+def runner():
+    runner = DistributedRunner(tiny_config())
+    runner.run()
+    return runner
+
+
+class TestRoundTrip:
+    def test_records_survive_verbatim(self, runner, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(runner.trace, path)
+        header, records = read_trace_jsonl(path)
+        assert count == len(records) == len(runner.trace)
+        for original, loaded in zip(runner.trace, records):
+            assert loaded.time == original.time
+            assert loaded.kind == original.kind
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["version"] == TRACE_SCHEMA_VERSION
+        assert header["counters"] == dict(runner.trace.summary())
+
+    def test_span_reconstruction_identical_on_replay(self, runner, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(runner.trace, path)
+        live = SpanStore.from_trace(runner.trace)
+        replay = SpanStore.from_records(read_trace_jsonl(path)[1])
+        assert len(replay.spans) == len(live.spans)
+        assert replay.lineage_problems() == []
+        assert replay.critical_path().total_s == pytest.approx(
+            live.critical_path().total_s
+        )
+
+    def test_dump_is_byte_stable(self, runner, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace_jsonl(runner.trace, a, meta={"seed": 77})
+        write_trace_jsonl(runner.trace, b, meta={"seed": 77})
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_iter_streams_lazily(self, runner, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(runner.trace, path)
+        first = next(iter_trace_jsonl(path))
+        assert isinstance(first, TraceRecord)
+
+
+class TestSanitization:
+    def test_numpy_scalars_and_arrays(self, tmp_path):
+        trace = Trace()
+        trace.emit(1.0, "x.y", acc=np.float64(0.5), n=np.int32(3),
+                   vec=np.array([1.0, 2.0]), opaque=object())
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl(trace, path)
+        _, [record] = read_trace_jsonl(path)
+        assert record["acc"] == 0.5
+        assert record["n"] == 3
+        assert record["vec"] == [1.0, 2.0]
+        assert isinstance(record["opaque"], str)
+
+    def test_bounded_trace_header_carries_drop_count(self, tmp_path):
+        trace = Trace(max_records=2)
+        for i in range(5):
+            trace.emit(float(i), "x.y", i=i)
+        path = tmp_path / "t.jsonl"
+        count = write_trace_jsonl(trace, path)
+        header, records = read_trace_jsonl(path)
+        assert count == len(records) == 2
+        assert header["counters"]["trace.dropped"] == 3
+        assert header["max_records"] == 2
+
+
+class TestSchemaGuards:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(TraceSchemaError, match="header"):
+            read_trace_jsonl(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": TRACE_SCHEMA, "version": 99}) + "\n")
+        with pytest.raises(TraceSchemaError, match="version"):
+            read_trace_jsonl(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceSchemaError, match="empty"):
+            read_trace_jsonl(path)
+
+    def test_rejects_corrupt_record_line(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION})
+            + "\nnot json\n"
+        )
+        with pytest.raises(TraceSchemaError, match="bad record"):
+            read_trace_jsonl(path)

@@ -278,3 +278,71 @@ class TestFaultFlags:
         out = capsys.readouterr().out
         assert "stopped: max_epochs" in out
         assert "transfer_failures" in out  # chaos counters reported
+
+
+class TestTraceCommand:
+    _RUN = [
+        "run",
+        "-p", "1", "-c", "2", "-t", "2",
+        "--epochs", "2",
+        "--shards", "4",
+        "--alpha", "0.9",
+        "--seed", "7",
+    ]
+
+    @pytest.fixture()
+    def dump(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(self._RUN + ["--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_run_writes_trace_dump(self, dump):
+        first = dump.read_text().splitlines()[0]
+        assert '"schema": "repro.trace"' in first
+
+    def test_trace_summary(self, dump, capsys):
+        assert main(["trace", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "workunit lineages" in out
+        assert "span durations" in out
+        assert "staleness" in out
+        assert "lineage problem" not in out
+
+    def test_trace_critical_path_sums_to_wall_clock(self, dump, capsys):
+        assert main(["trace", str(dump), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "= wall clock to last epoch" in out
+
+    def test_trace_wu_drilldown(self, dump, capsys):
+        assert main(["trace", str(dump), "--wu", "job:e000:s000"]) == 0
+        out = capsys.readouterr().out
+        assert "workunit job:e000:s000" in out
+        assert "client.train" in out
+
+    def test_trace_unknown_wu_exits_loudly(self, dump):
+        with pytest.raises(SystemExit, match="unknown workunit"):
+            main(["trace", str(dump), "--wu", "nope"])
+
+    def test_trace_perfetto_export(self, dump, tmp_path, capsys):
+        out_path = tmp_path / "perfetto.json"
+        assert main(["trace", str(dump), "--perfetto", str(out_path)]) == 0
+        import json as _json
+
+        from repro.obs import validate_perfetto
+
+        doc = _json.loads(out_path.read_text())
+        assert validate_perfetto(doc) == []
+
+    def test_trace_max_records_bounds_dump(self, tmp_path, capsys):
+        path = tmp_path / "bounded.jsonl"
+        assert main(
+            self._RUN + ["--trace-out", str(path), "--trace-max-records", "20"]
+        ) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 21  # header + ring of 20
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "history is partial" in out
