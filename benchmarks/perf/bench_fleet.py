@@ -1,0 +1,306 @@
+"""Fleet-scale scheduler benchmark: events/sec at 1k / 10k (/ 100k) clients.
+
+Measures the paths the fleet-scale scheduling core optimizes: the
+indexed ready queue (O(1) amortized push/pop/remove vs the legacy
+full-list scan) and the ping + server-suggested-sleep work-fetch
+protocol (no poke broadcasts, wake-ups O(new work) not O(fleet)).
+
+Each fleet size runs a real discrete-event simulation — ``Simulator`` +
+``BoincServer`` + ``Scheduler`` + one ``ClientDaemon`` per client in
+ping mode — with a lightweight stub executor (no NumPy training), so the
+measured cost is the middleware per event, not the model math.  The
+workload scales with the fleet (``2 x clients`` workunits), which makes
+**events/sec the O(1)-per-event check**: if any per-event cost were
+O(fleet), events/sec would collapse going from 1k to 10k clients
+instead of staying flat.  The invariant auditor rides along as a trace
+observer and the run only counts if every conservation law held.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fleet.py \
+        [--quick] [--full] [--out FILE] \
+        [--baseline FILE] [--max-regression 2.0]
+
+``--quick`` runs the 1k fleet only (the CI fleet-smoke job);
+``--full`` adds a 100k fleet on top of the default 1k + 10k.
+``--baseline`` compares events/sec against a committed report and exits
+non-zero if any shared fleet size got slower than ``--max-regression``×
+(note the inversion vs a timing gate: *lower* events/sec is the
+regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+SCHEMA = "repro.bench.fleet.v1"
+
+# Fleet sizes eligible for the regression gate (quick covers the first).
+GATED_SIZES = (1_000, 10_000)
+FULL_SIZES = (1_000, 10_000, 100_000)
+
+# Stub-workload shape: enough to exercise sticky affinity and the
+# validator, small enough that 100k clients is middleware-bound.
+VEC_SIZE = 64
+SHARD_FILES = 256
+SLOTS_PER_CLIENT = 2  # Tn; workunits = SLOTS_PER_CLIENT * clients
+WORK_UNITS = 120.0  # ~2 min of simulated compute per subtask
+RESULT_BYTES = 4096
+
+
+def size_label(num_clients: int) -> str:
+    return f"{num_clients // 1000}k"
+
+
+def run_fleet(num_clients: int, queue_impl: str = "indexed") -> dict:
+    """Simulate one fleet to completion; returns its metrics dict."""
+    from repro.boinc import (
+        BoincServer,
+        CallbackAssimilator,
+        ClientDaemon,
+        ParameterValidator,
+        SchedulerConfig,
+        ServerFile,
+        Workunit,
+    )
+    from repro.obs.audit import InvariantAuditor
+    from repro.simulation.engine import Simulator
+    from repro.simulation.resources import InstanceSpec
+    from repro.simulation.tracing import Trace
+
+    sim = Simulator()
+    # Bounded record buffer (100k clients would hold millions of records);
+    # the auditor is an observer, so it still sees every record.
+    trace = Trace(max_records=10_000)
+    auditor = InvariantAuditor()
+    trace.attach(auditor)
+
+    config = SchedulerConfig(
+        timeout_s=1e8,  # effectively disabled: the bench measures the
+        max_attempts=1,  # steady path, not the reissue machinery
+        work_fetch="ping",
+        queue_impl=queue_impl,
+    )
+    server = BoincServer(
+        sim,
+        assimilator=CallbackAssimilator(lambda wu, payload: None),
+        validator=ParameterValidator(expected_size=VEC_SIZE),
+        scheduler_config=config,
+        trace=trace,
+    )
+
+    server.catalog.publish(
+        ServerFile("model.spec", b"spec", raw_size=2048, sticky=True)
+    )
+    server.catalog.publish(
+        ServerFile("params:v0", np.zeros(VEC_SIZE), raw_size=VEC_SIZE * 8)
+    )
+    num_shard_files = min(SHARD_FILES, num_clients)
+    for s in range(num_shard_files):
+        server.catalog.publish(
+            ServerFile(f"shard{s:05d}.npy", b"x", raw_size=4096, sticky=True)
+        )
+
+    num_workunits = SLOTS_PER_CLIENT * num_clients
+    workunits = [
+        Workunit(
+            wu_id=f"bench:e0:s{i}",
+            job_id="bench",
+            epoch=0,
+            shard_index=i,
+            input_files=(
+                "model.spec",
+                "params:v0",
+                f"shard{i % num_shard_files:05d}.npy",
+            ),
+            work_units=WORK_UNITS,
+            timeout_s=config.timeout_s,
+            max_attempts=config.max_attempts,
+        )
+        for i in range(num_workunits)
+    ]
+    # Publish before any client attaches: nobody to wake, no pokes — the
+    # boot pings discover the queue themselves.
+    server.publish_workunits(workunits)
+
+    spec = InstanceSpec(
+        name="bench-core",
+        vcpus=SLOTS_PER_CLIENT,
+        clock_ghz=2.4,
+        ram_gb=4.0,
+        network_gbps=1.0,
+    )
+    payload = np.zeros(VEC_SIZE)
+
+    def executor(wu, payloads):
+        return payload, RESULT_BYTES
+
+    for i in range(num_clients):
+        client = ClientDaemon(
+            client_id=f"c{i:06d}",
+            sim=sim,
+            spec=spec,
+            scheduler=server.scheduler,
+            web=server.web,
+            executor=executor,
+            max_concurrent=SLOTS_PER_CLIENT,
+            trace=trace,
+        )
+        server.attach_client(client)
+
+    scheduler = server.scheduler
+    # The measured loop runs with the cyclic GC paused: collection pauses
+    # scale with the heap (i.e. the fleet), which would masquerade as
+    # per-event scheduler cost.  The object graph here is effectively
+    # acyclic, so nothing accumulates while it's off.
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        while not scheduler.all_terminal():
+            if not sim.step():
+                raise RuntimeError(
+                    f"fleet simulation stalled: terminal="
+                    f"{scheduler.terminal_count()}/{num_workunits}"
+                )
+        wall_s = time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+    completed = sum(c.subtasks_completed for c in server.clients.values())
+    if completed < num_workunits:
+        raise RuntimeError(
+            f"fleet finished with {completed}/{num_workunits} subtasks"
+        )
+    auditor.verify()  # raises InvariantViolation on any broken law
+
+    return {
+        "clients": num_clients,
+        "workunits": num_workunits,
+        "completed": completed,
+        "queue_impl": queue_impl,
+        "wall_s": round(wall_s, 4),
+        "sim_events": sim.events_processed,
+        "events_per_sec": round(sim.events_processed / wall_s, 1),
+        "sim_time_s": round(sim.now, 3),
+        "pings": scheduler.pings,
+        "sleep_hints": int(auditor.kind_counts.get("sched.sleep_hint", 0)),
+        "audit_checks": auditor.checks,
+        "audit_records": auditor.records_seen,
+    }
+
+
+def run_benchmarks(sizes: tuple[int, ...]) -> dict:
+    out: dict = {
+        "schema": SCHEMA,
+        "cpu_count": os.cpu_count() or 1,
+        "fleets": {},
+    }
+    for num_clients in sizes:
+        label = size_label(num_clients)
+        print(f"fleet {label}: simulating...", file=sys.stderr)
+        # Best of two runs (one for the 100k fleet — it is long enough to
+        # average out scheduler noise by itself): the minimum-wall-time
+        # estimator from bench_hotpath, applied to whole fleets.
+        repeats = 1 if num_clients >= 100_000 else 2
+        fleet = max(
+            (run_fleet(num_clients) for _ in range(repeats)),
+            key=lambda f: f["events_per_sec"],
+        )
+        out["fleets"][label] = fleet
+        out[f"events_per_sec_{label}"] = fleet["events_per_sec"]
+        print(
+            f"fleet {label}: {fleet['sim_events']} events in "
+            f"{fleet['wall_s']:.2f}s = {fleet['events_per_sec']:.0f} ev/s, "
+            f"{fleet['pings']} pings, audit ok",
+            file=sys.stderr,
+        )
+    # O(1)-per-event check: events/sec flat (±20%) from 1k to 10k.
+    eps_1k = out.get("events_per_sec_1k")
+    eps_10k = out.get("events_per_sec_10k")
+    if eps_1k and eps_10k:
+        out["flatness_1k_10k"] = round(eps_10k / eps_1k, 3)
+    # Informational: the legacy full-scan queue on the smallest fleet
+    # (same-process comparison, so same machine, same noise).
+    legacy = run_fleet(sizes[0], queue_impl="legacy")
+    out["legacy_events_per_sec_1k"] = legacy["events_per_sec"]
+    if eps_1k:
+        out["indexed_vs_legacy_speedup"] = round(
+            eps_1k / legacy["events_per_sec"], 2
+        )
+    return out
+
+
+def check_regression(report: dict, baseline: dict, max_ratio: float) -> list[str]:
+    """Compare events/sec against a committed report; inverted gate —
+    a *drop* in throughput beyond ``max_ratio``× is the regression."""
+    failures = []
+    for num_clients in GATED_SIZES:
+        key = f"events_per_sec_{size_label(num_clients)}"
+        ref = baseline.get(key)
+        now = report.get(key)
+        if not ref or not now:
+            continue
+        ratio = ref / now
+        if ratio > max_ratio:
+            failures.append(
+                f"{key}: {now:.0f} ev/s vs baseline {ref:.0f} ev/s "
+                f"({ratio:.2f}x slower > {max_ratio:.2f}x allowed)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="1k fleet only (CI fleet-smoke)"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="add the 100k fleet"
+    )
+    parser.add_argument("--out", default=None, metavar="FILE")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed report to regression-check events/sec against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0, metavar="X")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes: tuple[int, ...] = (GATED_SIZES[0],)
+    elif args.full:
+        sizes = FULL_SIZES
+    else:
+        sizes = GATED_SIZES
+    report = run_benchmarks(sizes)
+    print(json.dumps(report, indent=1))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            failures = check_regression(report, json.load(fh), args.max_regression)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            "fleet gate: no throughput regression beyond "
+            f"{args.max_regression:.1f}x",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

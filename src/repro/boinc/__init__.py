@@ -4,8 +4,10 @@ from .assimilator import Assimilator, CallbackAssimilator
 from .credit import CreditClaim, CreditLedger, HostCredit
 from .client import ClientDaemon, TaskExecutor
 from .files import FileCatalog, ServerFile, StickyCache, WebServer
+from .ready_queue import IndexedReadyQueue, LegacyListQueue, ReadyQueue
 from .scheduler import ClientRecord, Scheduler, SchedulerConfig
 from .server import BoincServer
+from .server_plane import ShardedValidatorPool, ShardedWorkGenerator, plane_of
 from .replication import QuorumAssimilator, QuorumConfig, logical_id, replica_id
 from .validator import ParameterValidator, ValidationResult
 from .work_generator import WorkGenerator
@@ -37,4 +39,10 @@ __all__ = [
     "TaskExecutor",
     "WorkGenerator",
     "BoincServer",
+    "ReadyQueue",
+    "IndexedReadyQueue",
+    "LegacyListQueue",
+    "ShardedWorkGenerator",
+    "ShardedValidatorPool",
+    "plane_of",
 ]

@@ -86,6 +86,7 @@ class ClientDaemon:
         self.alive = True
         self._in_flight: dict[str, ComputeTask | None] = {}  # wu_id -> compute task
         self._backoff_retry = None  # pending retry event during backoff
+        self._ping_timer = None  # pending self-scheduled ping (ping mode)
         self._heartbeats: dict[str, object] = {}  # wu_id -> pending heartbeat event
         self.subtasks_completed = 0
         self.subtasks_aborted = 0
@@ -100,8 +101,17 @@ class ClientDaemon:
         return self.max_concurrent - len(self._in_flight)
 
     def poll_for_work(self) -> None:
-        """Ask the scheduler for work up to the free slot count."""
+        """Ask the scheduler for work up to the free slot count.
+
+        In "poke" mode this is the legacy request path (the server
+        broadcasts pokes); in "ping" mode it is one ping of the ping +
+        server-suggested-sleep protocol: an empty-handed ping parks the
+        client until the hint expires or the scheduler wakes it early.
+        """
         if not self.alive or self.free_slots <= 0:
+            return
+        if self.scheduler.config.work_fetch == "ping":
+            self._ping()
             return
         granted = self.scheduler.request_work(
             self.client_id, self.cache.cached_names(), self.free_slots
@@ -111,6 +121,35 @@ class ClientDaemon:
         for wu in granted:
             self._in_flight[wu.wu_id] = None  # slot reserved; no compute yet
             self._start_download(wu)
+
+    def _ping(self) -> None:
+        self._cancel_ping_timer()
+        if not self.alive or self.free_slots <= 0:
+            return
+        granted, hint = self.scheduler.ping(
+            self.client_id,
+            self.cache.cached_names(),
+            self.free_slots,
+            wake=self._on_wake,
+        )
+        for wu in granted:
+            self._in_flight[wu.wu_id] = None  # slot reserved; no compute yet
+            self._start_download(wu)
+        if not granted and hint > 0:
+            self._ping_timer = self.sim.schedule(
+                hint, self._ping, label=f"{self.client_id}:ping"
+            )
+
+    def _on_wake(self) -> None:
+        """Scheduler roused us: new work arrived while we were parked."""
+        if not self.alive or self.free_slots <= 0:
+            return
+        self._ping()
+
+    def _cancel_ping_timer(self) -> None:
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+            self._ping_timer = None
 
     def _schedule_backoff_retry(self) -> None:
         """If work exists but we are in failure backoff, retry at expiry.
@@ -319,6 +358,10 @@ class ClientDaemon:
         if isinstance(task, ComputeTask):
             self.resource.cancel(task)
         self.subtasks_aborted += 1
+        if self.alive and self.scheduler.config.work_fetch == "ping":
+            # The freed slot must re-enter the ping loop itself: there is
+            # no poke broadcast to rescue an idle slot in ping mode.
+            self.poll_for_work()
 
     def terminate(self) -> None:
         """Instance reclaimed (preemption) or crashed: drop everything."""
@@ -329,6 +372,10 @@ class ClientDaemon:
         self._in_flight.clear()
         for wu_id in list(self._heartbeats):
             self._stop_heartbeat(wu_id)
+        self._cancel_ping_timer()
+        # Leave the idle-waiter list before the failure report requeues our
+        # units — a dead client must not swallow a wake-up.
+        self.scheduler.cancel_waiter(self.client_id)
         self.scheduler.report_client_failure(self.client_id)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "client.terminated", client=self.client_id)

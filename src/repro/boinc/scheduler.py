@@ -11,20 +11,36 @@ execution slots.  Three policies from the paper are implemented:
 * **reliability tracking** — per-client EWMA of attempt outcomes; clients
   below a reliability floor are put on probation (one workunit at a time)
   so chronically flaky nodes can't hoard work.
+
+Fleet-scale design: per-event cost must not depend on fleet size.  The
+ready queue is indexed (see :mod:`repro.boinc.ready_queue`), in-progress
+and terminal counts are maintained incrementally off workunit state
+transitions, and the **ping + server-suggested-sleep** protocol
+(:meth:`Scheduler.ping`) lets an idle fleet of any size park itself: a
+ping that grants nothing returns a sleep hint derived from the client's
+failure backoff, the queue depth, and assimilation backpressure, and the
+client registers a wake callback so new work rouses exactly as many idle
+hosts as there are new units — never the whole fleet.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import SchedulerError
 from ..simulation.engine import Simulator
 from ..simulation.events import EventHandle
 from ..simulation.tracing import Trace
+from .ready_queue import QUEUE_IMPLS, make_ready_queue
 from .replication import logical_id
 from .workunit import Workunit, WorkunitState
 
-__all__ = ["SchedulerConfig", "ClientRecord", "Scheduler"]
+__all__ = ["SchedulerConfig", "ClientRecord", "Scheduler", "WORK_FETCH_MODES"]
+
+# Work-fetch protocols: "poke" is the legacy broadcast (server poll of
+# every client on publish), "ping" is the fleet-scale pull protocol.
+WORK_FETCH_MODES = ("poke", "ping")
 
 
 @dataclass(frozen=True)
@@ -51,6 +67,37 @@ class SchedulerConfig:
     # slow-but-alive heterogeneous nodes against spurious reissues.
     heartbeats_enabled: bool = False
     heartbeat_interval_s: float = 60.0
+    # Ready-queue implementation: "indexed" (O(1) amortized per event) or
+    # "legacy" (the original full-scan list).  Grant order is proven
+    # identical by the equivalence property test, so "indexed" is the
+    # default; "legacy" remains as the bit-for-bit reference.
+    queue_impl: str = "indexed"
+    # Work-fetch protocol (consumed by BoincServer/ClientDaemon): "poke"
+    # keeps the legacy broadcast wake-up, "ping" switches the fleet to the
+    # ping + server-suggested-sleep contract.
+    work_fetch: str = "poke"
+    # Sleep-hint shaping for ping mode: a host that found a non-empty
+    # queue but was granted nothing (ineligible / probation) retries
+    # after ``ping_busy_s``; a host that found an empty queue sleeps
+    # ``ping_idle_base_s`` doubling per consecutive empty ping up to
+    # ``ping_idle_max_s``.
+    ping_busy_s: float = 5.0
+    ping_idle_base_s: float = 30.0
+    ping_idle_max_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.queue_impl not in QUEUE_IMPLS:
+            raise SchedulerError(
+                f"unknown queue_impl {self.queue_impl!r}; use one of {QUEUE_IMPLS}"
+            )
+        if self.work_fetch not in WORK_FETCH_MODES:
+            raise SchedulerError(
+                f"unknown work_fetch {self.work_fetch!r}; use one of {WORK_FETCH_MODES}"
+            )
+        if self.ping_busy_s <= 0 or self.ping_idle_base_s <= 0:
+            raise SchedulerError("ping sleep hints must be positive")
+        if self.ping_idle_max_s < self.ping_idle_base_s:
+            raise SchedulerError("ping_idle_max_s must be >= ping_idle_base_s")
 
 
 @dataclass
@@ -66,6 +113,8 @@ class ClientRecord:
     backoff_until: float = 0.0  # no work granted before this sim time
     # Logical workunit ids this host has ever been sent a replica of.
     seen_logical: set[str] = field(default_factory=set)
+    # Consecutive pings that found an empty queue (drives idle-hint growth).
+    empty_pings: int = 0
 
 
 class Scheduler:
@@ -81,16 +130,29 @@ class Scheduler:
         self.config = config or SchedulerConfig()
         self.trace = trace
         self._workunits: dict[str, Workunit] = {}
-        self._unsent: list[str] = []  # FIFO of wu_ids ready for assignment
+        self._ready = make_ready_queue(self.config.queue_impl)
         self._clients: dict[str, ClientRecord] = {}
         self._timeout_handles: dict[tuple[str, int], EventHandle] = {}
+        # Incremental state counters, fed by the workunit transition
+        # observer — all_terminal()/in_progress_count() are O(1).
+        self._num_in_progress = 0
+        self._num_terminal = 0
+        # Idle waiters (ping mode): client_id -> wake callback, FIFO.  New
+        # work wakes min(new units, waiters) hosts, never the whole fleet.
+        self._waiters: dict[str, Callable[[], None]] = {}
         # Hook the server/client layer sets to learn about timeouts so the
         # executing client can abort the stale task.
         self.on_timeout = None  # Callable[[str wu_id, str client_id], None]
+        # Optional assimilation-backpressure probe (seconds of extra sleep
+        # to suggest when the server-side merge pipeline is saturated);
+        # wired by the runner to the parameter-server pool.
+        self.backpressure_fn: Callable[[], float] | None = None
         self.timeouts = 0
         self.reissues = 0
         self.heartbeats = 0
         self.cancellations = 0
+        self.pings = 0
+        self.stale_heartbeats = 0
 
     # -- registration -----------------------------------------------------
     def register_client(self, client_id: str) -> ClientRecord:
@@ -114,8 +176,9 @@ class Scheduler:
             if wu.wu_id in self._workunits:
                 raise SchedulerError(f"duplicate workunit id {wu.wu_id!r}")
             wu.created_at = self.sim.now
+            wu._observer = self._on_wu_transition
             self._workunits[wu.wu_id] = wu
-            self._unsent.append(wu.wu_id)
+            self._ready.push(wu.wu_id, wu.shard_file())
             if self.trace is not None:
                 self.trace.emit(
                     self.sim.now,
@@ -124,6 +187,7 @@ class Scheduler:
                     epoch=wu.epoch,
                     shard=wu.shard_index,
                 )
+        self._wake_waiters(len(workunits))
 
     def get_workunit(self, wu_id: str) -> Workunit:
         """Look up a workunit by id; raises SchedulerError if unknown."""
@@ -131,6 +195,17 @@ class Scheduler:
             return self._workunits[wu_id]
         except KeyError:
             raise SchedulerError(f"unknown workunit {wu_id!r}") from None
+
+    def _on_wu_transition(
+        self, wu: Workunit, old: WorkunitState, new: WorkunitState
+    ) -> None:
+        if old is WorkunitState.IN_PROGRESS:
+            self._num_in_progress -= 1
+        if new is WorkunitState.IN_PROGRESS:
+            self._num_in_progress += 1
+        terminal = (WorkunitState.DONE, WorkunitState.ERROR, WorkunitState.CANCELLED)
+        if new in terminal and old not in terminal:
+            self._num_terminal += 1
 
     # -- assignment ---------------------------------------------------------
     def request_work(
@@ -149,7 +224,7 @@ class Scheduler:
             # Probation: flaky client gets at most one unit at a time.
             max_units = min(max_units, 1) if not record.assigned else 0
         granted: list[Workunit] = []
-        while len(granted) < max_units and self._unsent:
+        while len(granted) < max_units and len(self._ready) > 0:
             wu_id = self._pick_unsent(sticky_names, record)
             if wu_id is None:
                 break  # nothing this host is eligible for
@@ -183,21 +258,15 @@ class Scheduler:
         Honours sticky-file affinity first, then FIFO.  With
         ``one_result_per_host``, a host is skipped for replicas of logical
         units it has already been sent (a timed-out host retrying its own
-        unit is still allowed — it holds the only replica).
+        unit is still allowed — it holds the only replica).  Eligibility is
+        evaluated lazily inside the ready queue's pick.
         """
-        eligible_positions = [
-            pos
-            for pos, wu_id in enumerate(self._unsent)
-            if self._eligible(wu_id, record)
-        ]
-        if not eligible_positions:
-            return None
-        if self.config.affinity_enabled and sticky_names:
-            for pos in eligible_positions:
-                wu_id = self._unsent[pos]
-                if self._workunits[wu_id].shard_file() in sticky_names:
-                    return self._unsent.pop(pos)
-        return self._unsent.pop(eligible_positions[0])
+        sticky = sticky_names if (self.config.affinity_enabled and sticky_names) else ()
+        return self._ready.pick(
+            sticky,
+            lambda wu_id: self._workunits[wu_id].shard_file(),
+            lambda wu_id: self._eligible(wu_id, record),
+        )
 
     def _eligible(self, wu_id: str, record: ClientRecord) -> bool:
         if not self.config.one_result_per_host:
@@ -209,6 +278,84 @@ class Scheduler:
         # allowed; computing a *sibling* replica is not.
         wu = self._workunits[wu_id]
         return any(a.client_id == record.client_id for a in wu.attempts)
+
+    # -- ping + server-suggested-sleep protocol ------------------------------
+    def ping(
+        self,
+        client_id: str,
+        sticky_names: set[str],
+        max_units: int,
+        wake: Callable[[], None] | None = None,
+    ) -> tuple[list[Workunit], float]:
+        """One work-fetch ping: grant work, or suggest how long to sleep.
+
+        Returns ``(granted, sleep_hint_s)``.  When nothing is granted the
+        hint tells the client when to ping again; if ``wake`` is given the
+        client is also parked as an idle waiter and is roused early (FIFO)
+        when new work arrives — the hint is then only a liveness fallback.
+        """
+        record = self.register_client(client_id)
+        self.pings += 1
+        # A pinging client is by definition awake; drop any stale parking.
+        self._waiters.pop(client_id, None)
+        granted = self.request_work(client_id, sticky_names, max_units)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "sched.ping", client=client_id, granted=len(granted)
+            )
+        if granted:
+            record.empty_pings = 0
+            return granted, 0.0
+        hint, reason = self._sleep_hint(record)
+        if wake is not None:
+            self._waiters[client_id] = wake
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "sched.sleep_hint",
+                client=client_id,
+                hint_s=hint,
+                reason=reason,
+            )
+        return [], hint
+
+    def _sleep_hint(self, record: ClientRecord) -> tuple[float, str]:
+        """Backoff-, queue-depth- and probation-derived sleep suggestion."""
+        cfg = self.config
+        if self.sim.now < record.backoff_until:
+            # Failure backoff dominates: no grant can happen before expiry.
+            return record.backoff_until - self.sim.now + 1e-6, "backoff"
+        if len(self._ready) > 0:
+            # Work exists but this host can't take it right now (probation
+            # hold or one-result-per-host ineligibility): short retry.
+            if (
+                cfg.reliability_enabled
+                and record.reliability < cfg.probation_threshold
+                and record.assigned
+            ):
+                return cfg.ping_busy_s, "probation"
+            return cfg.ping_busy_s, "ineligible"
+        # Empty queue: idle hint doubles per consecutive empty ping, plus
+        # any assimilation backpressure the server reports.
+        record.empty_pings += 1
+        exponent = min(record.empty_pings - 1, 20)
+        hint = min(cfg.ping_idle_base_s * 2.0**exponent, cfg.ping_idle_max_s)
+        if self.backpressure_fn is not None:
+            hint += max(0.0, float(self.backpressure_fn()))
+        return hint, "idle"
+
+    def cancel_waiter(self, client_id: str) -> None:
+        """Forget a parked idle waiter (client terminating)."""
+        self._waiters.pop(client_id, None)
+
+    def _wake_waiters(self, new_units: int) -> None:
+        """Rouse up to ``new_units`` parked clients, FIFO — O(new work),
+        never O(fleet)."""
+        count = min(new_units, len(self._waiters))
+        for _ in range(count):
+            client_id = next(iter(self._waiters))
+            wake = self._waiters.pop(client_id)
+            self.sim.schedule(0.0, wake, label=f"sched:wake:{client_id}")
 
     # -- result / failure reporting ------------------------------------------
     def report_result(self, wu_id: str, client_id: str) -> bool:
@@ -246,6 +393,11 @@ class Scheduler:
             wu.state is not WorkunitState.IN_PROGRESS
             or wu.current_attempt.client_id != client_id
         ):
+            self.stale_heartbeats += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "sched.stale_heartbeat", wu=wu_id, client=client_id
+                )
             return False
         idx = wu.num_attempts - 1
         handle = self._timeout_handles.pop((wu_id, idx), None)
@@ -279,7 +431,7 @@ class Scheduler:
             if handle is not None:
                 handle.cancel()
             if wu.mark_client_error(self.sim.now):
-                self._unsent.append(wu_id)
+                self._ready.push(wu_id, wu.shard_file())
                 self.reissues += 1
                 requeued.append(wu)
             elif self.trace is not None:
@@ -291,6 +443,7 @@ class Scheduler:
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "sched.client_error", wu=wu_id, client=client_id)
         record.assigned.clear()
+        self._wake_waiters(len(requeued))
         return requeued
 
     def cancel_workunit(self, wu_id: str) -> str | None:
@@ -311,10 +464,13 @@ class Scheduler:
                 handle.cancel()
             self.register_client(computing_client).assigned.discard(wu_id)
         else:  # UNSENT: pull it out of the queue
-            try:
-                self._unsent.remove(wu_id)
-            except ValueError:
-                pass
+            if not self._ready.remove(wu_id):
+                # An UNSENT workunit absent from the ready queue means the
+                # scheduler's books are inconsistent — never swallow it.
+                raise SchedulerError(
+                    f"workunit {wu_id!r} is UNSENT but missing from the "
+                    "ready queue; scheduler state is inconsistent"
+                )
         wu.mark_cancelled(self.sim.now)
         self.cancellations += 1
         if self.trace is not None:
@@ -326,8 +482,9 @@ class Scheduler:
         wu = self.get_workunit(wu_id)
         retry = wu.mark_invalid(self.sim.now)
         if retry:
-            self._unsent.append(wu_id)
+            self._ready.push(wu_id, wu.shard_file())
             self.reissues += 1
+            self._wake_waiters(1)
         elif self.trace is not None:
             self.trace.emit(self.sim.now, "sched.exhausted", wu=wu_id, via="invalid")
         return retry
@@ -343,8 +500,9 @@ class Scheduler:
         self._bump_reliability(record, success=False)
         self.timeouts += 1
         if wu.mark_timeout(self.sim.now):
-            self._unsent.append(wu.wu_id)
+            self._ready.push(wu.wu_id, wu.shard_file())
             self.reissues += 1
+            self._wake_waiters(1)
         elif self.trace is not None:
             self.trace.emit(self.sim.now, "sched.exhausted", wu=wu.wu_id, via="timeout")
         if self.trace is not None:
@@ -372,18 +530,20 @@ class Scheduler:
     # -- stats ----------------------------------------------------------------
     def unsent_count(self) -> int:
         """Workunits currently queued for assignment."""
-        return len(self._unsent)
+        return len(self._ready)
+
+    def unsent_ids(self) -> list[str]:
+        """Queued workunit ids in FIFO order (introspection/tests)."""
+        return self._ready.snapshot()
 
     def in_progress_count(self) -> int:
-        """Workunits currently executing on some client."""
-        return sum(
-            1 for wu in self._workunits.values() if wu.state is WorkunitState.IN_PROGRESS
-        )
+        """Workunits currently executing on some client (O(1))."""
+        return self._num_in_progress
 
     def terminal_count(self) -> int:
-        """Workunits in a terminal state (done/error/cancelled)."""
-        return sum(1 for wu in self._workunits.values() if wu.is_terminal)
+        """Workunits in a terminal state (done/error/cancelled) (O(1))."""
+        return self._num_terminal
 
     def all_terminal(self) -> bool:
         """True when every published workunit reached a terminal state."""
-        return all(wu.is_terminal for wu in self._workunits.values())
+        return self._num_terminal == len(self._workunits)

@@ -59,14 +59,33 @@ class BoincServer:
         # to detect epoch boundaries.
         self.on_assimilated: Callable[[Workunit], None] | None = None
 
+    @property
+    def work_fetch(self) -> str:
+        """The fleet's work-fetch protocol ("poke" | "ping")."""
+        return self.scheduler.config.work_fetch
+
     # -- client management -------------------------------------------------
     def attach_client(self, client: ClientDaemon) -> None:
         """Register a client daemon and wire its result path through us."""
         self.clients[client.client_id] = client
         client._on_result_accepted = self._handle_accepted_result
+        if self.work_fetch == "ping":
+            # Boot ping: the client introduces itself once, then lives off
+            # sleep hints and scheduler wake-ups — the server never
+            # broadcasts to the fleet again.
+            self.sim.schedule(
+                0.0, client.poll_for_work, label=f"ping-boot:{client.client_id}"
+            )
 
     def poke_clients(self) -> None:
-        """Tell all live clients new work may be available."""
+        """Tell all live clients new work may be available.
+
+        Ping mode: a no-op — the scheduler wakes exactly as many parked
+        idle waiters as there are new units (O(work), not O(fleet)), so an
+        idle 100k-client fleet sees no broadcast storm.
+        """
+        if self.work_fetch == "ping":
+            return
         for client in self.clients.values():
             if client.alive:
                 client.poll_for_work()

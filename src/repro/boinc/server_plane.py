@@ -1,0 +1,236 @@
+"""Sharded server planes: N work-generator/validator shards (§III-B scale-out).
+
+The paper's scalability discussion (and BOINC's real deployments) run
+several scheduler/validator instances behind one shared database.  Here
+the "database" is the existing eventual-consistency KV store: N *planes*
+partition logical workunits by hash, each plane mints its slice of an
+epoch with its own RNG stream, and epoch cut-over is coordinated through
+the store — every plane writes an epoch marker, and the combined workunit
+batch is published only once all markers have committed (so a plane
+behind a KV outage window delays the cut-over instead of splitting it).
+Validation is routed by the same hash, so the accept/reject books of each
+plane are disjoint; assimilation stays the single exactly-once pipeline.
+
+With ``planes == 1`` the runner keeps the plain :class:`WorkGenerator` /
+:class:`ParameterValidator` path, so legacy configs are untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..simulation.engine import Simulator
+from ..simulation.tracing import Trace
+from .replication import logical_id
+from .validator import ParameterValidator, ValidationResult
+from .work_generator import WorkGenerator
+from .workunit import Workunit
+
+__all__ = [
+    "PLANE_EPOCH_KEY",
+    "plane_of",
+    "ShardedWorkGenerator",
+    "ShardedValidatorPool",
+]
+
+# KV key prefix for per-plane epoch cut-over markers.
+PLANE_EPOCH_KEY = "wg.plane-epoch"
+
+
+def plane_of(name: str, planes: int) -> int:
+    """Stable hash partition of a logical-workunit id across planes."""
+    if planes <= 1:
+        return 0
+    digest = hashlib.blake2b(name.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % planes
+
+
+class ShardedWorkGenerator:
+    """N work-generation planes over one shared :class:`WorkGenerator`.
+
+    The inner generator owns the dataset sharding and the static file
+    catalogue (published once); the planes partition *minting* by the
+    logical base id's hash and coordinate epoch cut-over through the KV
+    store.  Exposes the same surface the runner uses (``make_epoch`` /
+    ``make_retries`` / ``shard_file_name``) plus :meth:`generate_epoch`,
+    the barrier-publishing variant.
+    """
+
+    def __init__(
+        self,
+        inner: WorkGenerator,
+        planes: int,
+        store,
+        sim: Simulator,
+        trace: Trace | None = None,
+        plane_rngs: list[np.random.Generator] | None = None,
+    ) -> None:
+        if planes < 1:
+            raise ConfigurationError(f"planes must be >= 1, got {planes}")
+        if plane_rngs is not None and len(plane_rngs) != planes:
+            raise ConfigurationError("need exactly one RNG stream per plane")
+        self.inner = inner
+        self.planes = planes
+        self.store = store
+        self.sim = sim
+        self.trace = trace
+        self._plane_rngs = (
+            plane_rngs
+            if plane_rngs is not None
+            else [np.random.default_rng(1_000 + p) for p in range(planes)]
+        )
+        self.cutovers = 0
+
+    # -- passthroughs the runner relies on --------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.inner.num_shards
+
+    @property
+    def model_file_name(self) -> str:
+        return self.inner.model_file_name
+
+    def shard_file_name(self, shard_index: int) -> str:
+        return self.inner.shard_file_name(shard_index)
+
+    # -- minting ----------------------------------------------------------
+    def plane_for(self, base_id: str) -> int:
+        return plane_of(base_id, self.planes)
+
+    def _mint(
+        self,
+        epoch: int,
+        param_file_name: str,
+        replicas: int,
+        shard_indices,
+        suffix: str = "",
+    ) -> list[list[Workunit]]:
+        per_plane: list[list[Workunit]] = [[] for _ in range(self.planes)]
+        for shard_index in shard_indices:
+            base_id = f"{self.inner.job_id}:e{epoch:03d}:s{shard_index:03d}{suffix}"
+            plane = self.plane_for(base_id)
+            per_plane[plane].extend(
+                self.inner._mint_subtask(
+                    base_id,
+                    epoch,
+                    shard_index,
+                    param_file_name,
+                    replicas,
+                    rng=self._plane_rngs[plane],
+                )
+            )
+        return per_plane
+
+    def make_epoch(
+        self, epoch: int, param_file_name: str, replicas: int = 1
+    ) -> list[Workunit]:
+        """Mint one epoch across all planes (no cut-over barrier)."""
+        per_plane = self._mint(
+            epoch, param_file_name, replicas, range(self.inner.num_shards)
+        )
+        return [wu for plane in per_plane for wu in plane]
+
+    def generate_epoch(
+        self, epoch: int, param_file_name: str, replicas: int, publish
+    ) -> list[Workunit]:
+        """Mint an epoch and publish it once every plane's cut-over marker
+        has committed to the KV store.
+
+        Returns the full workunit list immediately (the runner tracks
+        epoch completion off it); ``publish`` fires asynchronously after
+        the slowest plane's marker write — including any chaos-fabric
+        outage/degradation windows on the store.
+        """
+        per_plane = self._mint(
+            epoch, param_file_name, replicas, range(self.inner.num_shards)
+        )
+        flat = [wu for plane in per_plane for wu in plane]
+        pending = set(range(self.planes))
+        started = self.sim.now
+
+        def plane_committed(plane: int) -> None:
+            pending.discard(plane)
+            if pending:
+                return
+            self.cutovers += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "plane.cutover",
+                    epoch=epoch,
+                    planes=self.planes,
+                    waited_s=self.sim.now - started,
+                )
+            publish(flat)
+
+        for plane in range(self.planes):
+            self.store.write(
+                f"{PLANE_EPOCH_KEY}:{plane}",
+                epoch,
+                on_done=lambda p=plane: plane_committed(p),
+                nbytes=64,
+            )
+        return flat
+
+    def make_retries(
+        self,
+        epoch: int,
+        param_file_name: str,
+        shard_indices: list[int],
+        round_index: int,
+        replicas: int = 1,
+    ) -> list[Workunit]:
+        """Replacement workunits for permanently failed shards.
+
+        Barrier retries are replacements inside an already-open epoch, so
+        they publish directly — only the epoch cut-over itself is
+        coordinated through the store.
+        """
+        if round_index < 1:
+            raise ConfigurationError("round_index must be >= 1")
+        per_plane = self._mint(
+            epoch, param_file_name, replicas, shard_indices, suffix=f":b{round_index}"
+        )
+        return [wu for plane in per_plane for wu in plane]
+
+
+class ShardedValidatorPool:
+    """Routes validation across N validator shards by logical-id hash.
+
+    Each shard keeps its own accept/reject books; the pool aggregates
+    them so existing consumers (``server.validator.rejected``) see fleet
+    totals.  Routing by *logical* id keeps all replicas of one subtask on
+    the same plane, matching the work-generation partition.
+    """
+
+    def __init__(self, shards: list[ParameterValidator]) -> None:
+        if not shards:
+            raise ConfigurationError("need at least one validator shard")
+        self.shards = shards
+
+    @property
+    def planes(self) -> int:
+        return len(self.shards)
+
+    @property
+    def expected_size(self) -> int:
+        return self.shards[0].expected_size
+
+    @property
+    def accepted(self) -> int:
+        return sum(shard.accepted for shard in self.shards)
+
+    @property
+    def rejected(self) -> int:
+        return sum(shard.rejected for shard in self.shards)
+
+    def shard_for(self, wu_id: str) -> ParameterValidator:
+        return self.shards[plane_of(logical_id(wu_id), self.planes)]
+
+    def validate(
+        self, payload: object, now: float = 0.0, wu_id: str = ""
+    ) -> ValidationResult:
+        return self.shard_for(wu_id).validate(payload, now=now, wu_id=wu_id)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import WorkunitError
 
@@ -66,6 +66,19 @@ class Workunit:
     result: Any = None
     created_at: float = 0.0
     completed_at: float | None = None
+    # Transition observer, set by the scheduler when the workunit is
+    # published.  Every state change flows through it so the scheduler can
+    # keep incremental in-progress/terminal counters without rescanning —
+    # including DONE, which the *server* triggers via mark_valid.
+    _observer: Callable[["Workunit", WorkunitState, WorkunitState], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _transition(self, new_state: WorkunitState) -> None:
+        old = self.state
+        self.state = new_state
+        if self._observer is not None:
+            self._observer(self, old, new_state)
 
     # -- transitions ------------------------------------------------------
     def mark_sent(self, client_id: str, now: float) -> Attempt:
@@ -75,14 +88,14 @@ class Workunit:
             raise WorkunitError(f"{self.wu_id}: attempt budget exhausted")
         attempt = Attempt(client_id=client_id, sent_at=now, deadline=now + self.timeout_s)
         self.attempts.append(attempt)
-        self.state = WorkunitState.IN_PROGRESS
+        self._transition(WorkunitState.IN_PROGRESS)
         return attempt
 
     def mark_result_received(self, now: float) -> None:
         """IN_PROGRESS → VALIDATING (result uploaded, awaiting validation)."""
         self._require(WorkunitState.IN_PROGRESS, "mark_result_received")
         self.current_attempt.finished_at = now
-        self.state = WorkunitState.VALIDATING
+        self._transition(WorkunitState.VALIDATING)
 
     def mark_valid(self, now: float, result: Any) -> None:
         """VALIDATING → DONE."""
@@ -90,7 +103,7 @@ class Workunit:
         self.current_attempt.outcome = "success"
         self.result = result
         self.completed_at = now
-        self.state = WorkunitState.DONE
+        self._transition(WorkunitState.DONE)
 
     def mark_invalid(self, now: float) -> bool:
         """VALIDATING → UNSENT (retry) or ERROR. Returns True if retryable."""
@@ -133,7 +146,7 @@ class Workunit:
             self.current_attempt.finished_at = now
             self.current_attempt.outcome = "cancelled"
         self.completed_at = now
-        self.state = WorkunitState.CANCELLED
+        self._transition(WorkunitState.CANCELLED)
 
     @property
     def is_terminal(self) -> bool:
@@ -150,9 +163,9 @@ class Workunit:
     # -- internals ----------------------------------------------------------
     def _retry_or_error(self) -> bool:
         if len(self.attempts) < self.max_attempts:
-            self.state = WorkunitState.UNSENT
+            self._transition(WorkunitState.UNSENT)
             return True
-        self.state = WorkunitState.ERROR
+        self._transition(WorkunitState.ERROR)
         return False
 
     def _require(self, expected: WorkunitState, op: str) -> None:

@@ -203,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--replicas", type=int, default=1)
     run_p.add_argument("--quorum", type=int, default=None)
     run_p.add_argument("--autoscale", action="store_true")
+    run_p.add_argument(
+        "--work-fetch",
+        choices=["poke", "ping"],
+        default="poke",
+        help="work-fetch protocol: legacy poke broadcast or fleet-scale "
+        "ping + server-suggested-sleep",
+    )
+    run_p.add_argument(
+        "--server-planes",
+        type=int,
+        default=1,
+        help="sharded work-generator/validator planes (1 = single plane)",
+    )
     run_p.add_argument("--warm-start", type=int, default=0, metavar="PASSES")
     run_p.add_argument("--seed", type=int, default=1234)
     run_p.add_argument("--checkpoint-out", default=None, metavar="FILE")
@@ -445,6 +458,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         quorum=args.quorum if args.quorum is not None else min(2, args.replicas),
         ps_autoscale=args.autoscale,
         warm_start_passes=args.warm_start,
+        work_fetch=args.work_fetch,
+        server_planes=args.server_planes,
         faults=_parse_faults(args),
         seed=args.seed,
     )

@@ -147,6 +147,22 @@ class TrainingJobConfig:
     ps_effective_cores: int = 5  # §IV-B: server throughput flattens past P5
     val_eval_subsample: int = 256  # samples used for the per-update accuracy
 
+    # -- fleet-scale scheduling core --------------------------------------------
+    # Work-fetch protocol: "poke" is the legacy server broadcast on every
+    # publish/timeout (bit-identical to pre-refactor runs); "ping" is the
+    # fleet-scale ping + server-suggested-sleep contract, where idle
+    # clients park on scheduler sleep hints and new work wakes O(work)
+    # hosts instead of O(fleet).
+    work_fetch: str = "poke"
+    # Scheduler ready-queue implementation: "indexed" (O(1) amortized) or
+    # "legacy" (the original full-scan list, kept as the equivalence
+    # reference).  Grant order is identical by construction and by test.
+    sched_queue_impl: str = "indexed"
+    # Sharded server planes (§III-B scale-out): N work-generator/validator
+    # shards partitioned by logical-workunit hash, with epoch cut-over
+    # coordinated through the KV store.  1 keeps the single-plane path.
+    server_planes: int = 1
+
     # -- dynamic parameter-server scaling (§III-D future design) ---------------
     # When True, num_param_servers is the *initial* worker count and the
     # pool grows/shrinks with queue pressure per `autoscale_policy`
@@ -179,6 +195,14 @@ class TrainingJobConfig:
             raise ConfigurationError("need at least one client spec")
         if self.warm_start_passes < 0:
             raise ConfigurationError("warm_start_passes must be non-negative")
+        if self.work_fetch not in ("poke", "ping"):
+            raise ConfigurationError(f"unknown work_fetch {self.work_fetch!r}")
+        if self.sched_queue_impl not in ("indexed", "legacy"):
+            raise ConfigurationError(
+                f"unknown sched_queue_impl {self.sched_queue_impl!r}"
+            )
+        if self.server_planes < 1:
+            raise ConfigurationError("server_planes must be >= 1")
         if self.update_rule is not None and not isinstance(self.update_rule, UpdateRule):
             raise ConfigurationError(
                 f"update_rule must be an UpdateRule or None, "

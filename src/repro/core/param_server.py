@@ -184,6 +184,21 @@ class ParameterServerPool:
         """Results waiting for a free parameter-server worker."""
         return len(self._queue)
 
+    def backpressure_s(self) -> float:
+        """Extra work-fetch sleep (seconds) the assimilation queue suggests.
+
+        Fig. 3's bottleneck is the merge pipeline: when results queue up
+        faster than the Pn workers drain them, handing out more work only
+        deepens the backlog.  The estimate is the current backlog divided
+        by worker count, scaled by the mean observed service time (0 until
+        the pipeline has history, so healthy fleets are never slowed).
+        The scheduler adds this to idle sleep hints in ping mode.
+        """
+        if not self._queue or self.num_servers <= 0:
+            return 0.0
+        per_worker = len(self._queue) / self.num_servers
+        return per_worker * self.stats.mean_service()
+
     @property
     def busy_workers(self) -> int:
         """Workers currently processing a result."""

@@ -30,6 +30,7 @@ from ..boinc.files import ServerFile
 from ..boinc.replication import QuorumAssimilator, QuorumConfig, logical_id
 from ..boinc.scheduler import SchedulerConfig
 from ..boinc.server import BoincServer
+from ..boinc.server_plane import ShardedValidatorPool, ShardedWorkGenerator
 from ..boinc.validator import ParameterValidator
 from ..boinc.work_generator import WorkGenerator
 from ..boinc.workunit import Workunit, WorkunitState
@@ -268,6 +269,8 @@ class DistributedRunner:
                 affinity_enabled=config.affinity_enabled,
                 reliability_enabled=config.reliability_enabled,
                 heartbeats_enabled=config.heartbeats_enabled,
+                queue_impl=config.sched_queue_impl,
+                work_fetch=config.work_fetch,
             ),
             compression_enabled=config.compression_enabled,
             trace=self.trace,
@@ -275,6 +278,9 @@ class DistributedRunner:
             partitions=partitions,
         )
         self.server.on_assimilated = self._on_assimilated
+        # Ping-mode sleep hints fold in assimilation backpressure: an idle
+        # fleet slows its polling while the merge pipeline is saturated.
+        self.server.scheduler.backpressure_fn = self.pool.backpressure_s
 
         # ---- work generator ---------------------------------------------------
         self.work_generator = WorkGenerator(
@@ -288,6 +294,27 @@ class DistributedRunner:
             max_attempts=config.max_attempts,
             rng=self.rngs.stream("workgen"),
         )
+        if config.server_planes > 1:
+            # Sharded server planes: minting is partitioned by logical-id
+            # hash with per-plane RNG streams, and epoch cut-over is
+            # coordinated through the KV store (see boinc.server_plane).
+            self.work_generator = ShardedWorkGenerator(
+                inner=self.work_generator,
+                planes=config.server_planes,
+                store=self.store,
+                sim=self.sim,
+                trace=self.trace,
+                plane_rngs=[
+                    self.rngs.stream(f"workgen:plane{p}")
+                    for p in range(config.server_planes)
+                ],
+            )
+            self.server.validator = ShardedValidatorPool(
+                [
+                    ParameterValidator(expected_size=self.param_size, trace=self.trace)
+                    for _ in range(config.server_planes)
+                ]
+            )
         self._republish_params(initial_vec)
 
         # ---- client fleet ------------------------------------------------------
@@ -649,12 +676,22 @@ class DistributedRunner:
             )
         self._epoch_param_file = param_file
         self._barrier_round = 0
-        self._epoch_workunits = self.work_generator.make_epoch(
-            self._current_epoch, param_file, replicas=self.config.replicas
-        )
         self._epoch_assimilated = 0
         self.obs.timer("run.epoch").start()
-        self.server.publish_workunits(self._epoch_workunits)
+        if isinstance(self.work_generator, ShardedWorkGenerator):
+            # Sharded planes: the workunit list is known synchronously, but
+            # publication waits for every plane's KV cut-over marker.
+            self._epoch_workunits = self.work_generator.generate_epoch(
+                self._current_epoch,
+                param_file,
+                replicas=self.config.replicas,
+                publish=self.server.publish_workunits,
+            )
+        else:
+            self._epoch_workunits = self.work_generator.make_epoch(
+                self._current_epoch, param_file, replicas=self.config.replicas
+            )
+            self.server.publish_workunits(self._epoch_workunits)
         self.trace.emit(self.sim.now, "epoch.start", epoch=self._current_epoch)
 
     def _epoch_complete(self) -> bool:
@@ -824,6 +861,12 @@ class DistributedRunner:
             "cache_misses": sum(c.cache.misses for c in self.server.clients.values()),
             "volunteers_joined": self._volunteers_joined,
         }
+        # Fleet-scale extras, gated on their configs so default ("poke",
+        # single-plane) runs keep the pre-refactor counter set bit-for-bit.
+        if self.config.work_fetch == "ping":
+            self.result.counters["pings"] = sched.pings
+        if isinstance(self.work_generator, ShardedWorkGenerator):
+            self.result.counters["plane_cutovers"] = self.work_generator.cutovers
         if not self.rule.fault_tolerant:
             self.result.counters["barrier_stalls"] = self.barrier_stalls
         if self.staleness_samples:

@@ -1005,6 +1005,12 @@ class _Builder:
     _on_validator_checked = _skip
     _on_credit_grant = _skip
     _on_credit_deny = _skip
+    # Fleet-scale work-fetch chatter and plane coordination: high-volume /
+    # run-level records with no per-workunit span of their own.
+    _on_sched_ping = _skip
+    _on_sched_sleep_hint = _skip
+    _on_sched_stale_heartbeat = _skip
+    _on_plane_cutover = _skip
 
 
 # ---------------------------------------------------------------------------

@@ -4,7 +4,12 @@ A classic calendar queue on a binary heap: events are ordered by
 ``(time, sequence)`` so simultaneous events fire in scheduling order
 (deterministic FIFO tie-break — essential for reproducibility).
 Cancellation is lazy: a cancelled handle stays in the heap and is skipped
-when popped, which keeps cancel O(1).
+when popped, which keeps cancel O(1).  When more than half the heap is
+cancelled entries the queue compacts (filter + re-heapify), so dead
+events — e.g. the per-assignment timeout of every completed workunit in
+a large fleet — cannot grow the heap, and thus the per-event ``log``
+factor, without bound.  Compaction preserves ``(time, seq)`` order, so
+replay determinism is unaffected.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ __all__ = ["EventHandle", "EventQueue"]
 class EventHandle:
     """Opaque handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "_queue")
 
     def __init__(
         self, time: float, seq: int, callback: Callable[[], None], label: str
@@ -31,9 +36,12 @@ class EventHandle:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self._queue: "EventQueue | None" = None  # set by EventQueue.push
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time comes."""
+        if not self.cancelled and self._queue is not None:
+            self._queue._cancelled_count += 1
         self.cancelled = True
         self.callback = _noop  # drop closure references promptly
 
@@ -52,19 +60,35 @@ def _noop() -> None:
 class EventQueue:
     """Min-heap of :class:`EventHandle` ordered by (time, sequence)."""
 
+    # Below this size compaction isn't worth the heapify; above it, a
+    # majority-cancelled heap is rebuilt (amortized O(1) per cancel).
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._heap: list[EventHandle] = []
         self._counter = itertools.count()
+        self._cancelled_count = 0  # cancelled entries still in the heap
 
     def __len__(self) -> int:
         # Includes lazily-cancelled entries; use is_empty() for liveness.
         return len(self._heap)
 
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._heap) >= self._COMPACT_MIN
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self._heap = [h for h in self._heap if not h.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_count = 0
+
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
         """Schedule ``callback`` at absolute ``time``; returns its handle."""
         if time != time:  # NaN guard
             raise SimulationError("cannot schedule an event at NaN time")
+        self._maybe_compact()
         handle = EventHandle(time, next(self._counter), callback, label)
+        handle._queue = self
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -73,13 +97,18 @@ class EventQueue:
         while self._heap:
             handle = heapq.heappop(self._heap)
             if not handle.cancelled:
+                # Detach so a later cancel() of this (already fired)
+                # handle doesn't count against a heap it has left.
+                handle._queue = None
                 return handle
+            self._cancelled_count -= 1
         raise SimulationError("pop() from an empty event queue")
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if none remain."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_count -= 1
         return self._heap[0].time if self._heap else None
 
     def is_empty(self) -> bool:

@@ -57,6 +57,18 @@ class TestCancelUnsent:
         assert sched.cancel_workunit("wu00") == "c1"
         assert "wu00" not in sched.client("c1").assigned
 
+    def test_cancel_unsent_missing_from_queue_raises(self, sim):
+        # An UNSENT workunit absent from the ready queue is corrupted
+        # scheduler state; the old code swallowed the ValueError from
+        # list.remove and carried on with inconsistent books.
+        from repro.errors import SchedulerError
+
+        sched = Scheduler(sim, SchedulerConfig())
+        sched.add_workunits(make_wus(1))
+        sched._ready.remove("wu00")  # corrupt the books
+        with pytest.raises(SchedulerError, match="inconsistent"):
+            sched.cancel_workunit("wu00")
+
 
 class TestInvalidRetryBudget:
     def _fail_once(self, sim, sched, wu, client="c1"):
@@ -150,3 +162,17 @@ class TestStaleHeartbeatVsTimeout:
         sched.request_work("c1", set(), 1)
         assert sched.report_result("wu00", "c1") is True
         assert sched.report_heartbeat("wu00", "c1") is False
+
+    def test_stale_heartbeat_counted_and_traced(self, sim, trace):
+        # Stale heartbeats used to vanish silently; they are now a
+        # first-class observable (counter + sched.stale_heartbeat record).
+        sched = Scheduler(sim, self._config(), trace=trace)
+        (wu,) = make_wus(1)
+        sched.add_workunits([wu])
+        sched.request_work("c1", set(), 1)
+        sim.run(until=150.0)  # deadline at 100 reclaims the attempt
+        assert sched.report_heartbeat("wu00", "c1") is False
+        assert sched.stale_heartbeats == 1
+        stale = [r for r in trace if r.kind == "sched.stale_heartbeat"]
+        assert len(stale) == 1
+        assert stale[0]["wu"] == "wu00" and stale[0]["client"] == "c1"

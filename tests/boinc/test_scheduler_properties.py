@@ -72,10 +72,18 @@ def check_invariants(sched: Scheduler, wus: list[Workunit]) -> None:
             assert wu.num_attempts == MAX_ATTEMPTS
 
     # The unsent queue holds only UNSENT workunits, each at most once.
-    queue = sched._unsent
+    queue = sched.unsent_ids()
     assert len(queue) == len(set(queue))
+    assert len(queue) == sched.unsent_count()
     for wu_id in queue:
         assert sched.get_workunit(wu_id).state is WorkunitState.UNSENT
+
+    # Incremental counters agree with a full rescan.
+    assert sched.in_progress_count() == sum(
+        1 for wu in wus if wu.state is WorkunitState.IN_PROGRESS
+    )
+    assert sched.terminal_count() == sum(1 for wu in wus if wu.is_terminal)
+    assert sched.all_terminal() == all(wu.is_terminal for wu in wus)
 
 
 @settings(max_examples=60, deadline=None)

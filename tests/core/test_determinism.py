@@ -99,6 +99,19 @@ def test_spans_on_vs_off_bit_identical():
     assert records_on == records_off
 
 
+def test_indexed_queue_bit_identical_to_legacy():
+    """The fleet-scale indexed ready queue must reproduce the legacy
+    full-scan scheduler's runs bit-for-bit (grant order is proven
+    equivalent property-by-property in tests/boinc; this pins the whole
+    pipeline — physics, counters, trace, digest)."""
+    indexed = DistributedRunner(tiny_config(sched_queue_impl="indexed"))
+    indexed.run()
+    legacy = DistributedRunner(tiny_config(sched_queue_impl="legacy"))
+    legacy.run()
+    assert fingerprint(indexed) == fingerprint(legacy)
+    assert indexed.telemetry()["digest"] == legacy.telemetry()["digest"]
+
+
 def test_span_reconstruction_is_deterministic():
     from repro.obs import span_summary
 

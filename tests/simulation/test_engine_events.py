@@ -63,6 +63,64 @@ class TestEventQueue:
         assert "cancelled" in repr(h)
 
 
+class TestCompaction:
+    """Majority-cancelled heaps are compacted (fleet-scale: dead timeout
+    entries must not grow the per-event log factor without bound)."""
+
+    def test_compaction_shrinks_heap(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(100)]
+        for handle in handles[:80]:
+            handle.cancel()
+        assert len(q) == 100  # lazy: nothing removed yet
+        q.push(200.0, lambda: None)  # trips the majority check
+        assert len(q) == 21  # 20 live survivors + the new push
+
+    def test_order_preserved_across_compaction(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None, label=f"e{i}") for i in range(100)]
+        for i, handle in enumerate(handles):
+            if i % 10 != 3:  # cancel 90%
+                handle.cancel()
+        q.push(0.5, lambda: None, label="early")
+        popped = []
+        while True:
+            try:
+                popped.append(q.pop())
+            except SimulationError:
+                break
+        assert [h.label for h in popped] == [
+            "early", "e3", "e13", "e23", "e33", "e43",
+            "e53", "e63", "e73", "e83", "e93",
+        ]
+
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(20)]
+        for handle in handles:
+            handle.cancel()
+        q.push(99.0, lambda: None)
+        assert len(q) == 21  # below _COMPACT_MIN: all lazy entries remain
+
+    def test_cancel_after_pop_does_not_skew_accounting(self):
+        q = EventQueue()
+        live = [q.push(float(i), lambda: None) for i in range(100)]
+        fired = [q.pop() for _ in range(50)]
+        for handle in fired:
+            handle.cancel()  # cancelling an already-fired handle
+        assert q._cancelled_count == 0
+        q.push(200.0, lambda: None)
+        assert len(q) == 51  # no spurious compaction, nothing lost
+        del live
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert q._cancelled_count == 1
+
+
 class TestSimulator:
     def test_clock_advances_to_event_times(self, sim):
         times: list[float] = []
