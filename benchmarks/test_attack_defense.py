@@ -1,0 +1,268 @@
+"""Attack/defense matrix: the Byzantine fabric raced against the defenses.
+
+Every cell runs the same P1C6T2 workload with one adversary plan (rows)
+under one defense configuration (columns):
+
+* ``plain``          — VC-ASGD, no replication, no guard: the paper's
+                       baseline, trusting every volunteer.
+* ``median+q3``      — coordinate-wise median + 3-way replication with a
+                       full 3-of-3 quorum.  Forged results can never reach
+                       quorum (an attacker controls < 3 replicas of any
+                       unit), and the median-of-3-claims neutralizes
+                       credit inflation.
+* ``cclip+q3``       — CenteredClip under the same quorum plane.
+* ``median+guard``   — coordinate-wise median + cheaper 2-way replication
+                       with the collusion-aware reliability-weighted
+                       quorum and the quarantine loop.  Recovers more
+                       updates than q3 (disagreeing units fail loudly and
+                       attackers are evicted instead of every touched unit
+                       hanging) at 2/3 the replication cost — but its
+                       2-claim credit median is a midpoint, so claim
+                       inflation still leaks (documented limitation:
+                       median-of-claims needs >= 3 claims).
+
+Asserted shape (the §II-C robustness story, adversarially):
+
+1. every defended column converges under every attack where the plain
+   baseline diverges or stalls;
+2. claim inflation pays out ~claim_factor under plain granting, ~1x under
+   the 3-claim median;
+3. the guard column actually quarantines attackers and assimilates more
+   updates than full-quorum replication.
+
+Quick mode (``REPRO_ADV_QUICK=1``, used by the CI adversarial-soak job)
+trims the rows/columns to a >= 2 attacks x >= 2 robust rules smoke while
+keeping the same thresholds; the committed artifact comes from the full
+matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis import render_table
+from repro.core import DistributedRunner, FaultConfig, TrainingJobConfig, make_rule
+from repro.core.job import ModelSpec
+from repro.data import SyntheticImageConfig
+from repro.simulation.adversary import AdversaryBehavior, AdversaryPlan
+
+from _helpers import RESULTS_DIR, emit, run_once
+
+QUICK = os.environ.get("REPRO_ADV_QUICK", "") not in ("", "0")
+
+MATRIX_EPOCHS = 6
+CONVERGED = 0.90  # defended runs must reach this
+DIVERGED = 0.60  # plain-under-attack stays below this (clean plain: ~0.91)
+
+ATTACKS = {
+    "clean": None,
+    "falsify_random": AdversaryPlan(
+        behaviors=(
+            AdversaryBehavior(
+                clients=("client-000",), attack="falsify_random", magnitude=30.0
+            ),
+        )
+    ),
+    "falsify_signflip": AdversaryPlan(
+        behaviors=(
+            AdversaryBehavior(
+                clients=("client-000",), attack="falsify_signflip", magnitude=4.0
+            ),
+        )
+    ),
+    "poison_drift": AdversaryPlan(
+        behaviors=(
+            AdversaryBehavior(
+                clients=("client-000",), attack="poison_drift", magnitude=4.0
+            ),
+        )
+    ),
+    "collude": AdversaryPlan(
+        behaviors=(
+            AdversaryBehavior(
+                clients=("client-000", "client-001"),
+                attack="collude",
+                magnitude=30.0,
+            ),
+        )
+    ),
+    "claim_inflate": AdversaryPlan(
+        behaviors=(
+            AdversaryBehavior(
+                clients=("client-000",), attack="claim_inflate", claim_factor=100.0
+            ),
+        )
+    ),
+}
+
+# (column, defense kwargs, rule factory kwargs or None for VC-ASGD)
+DEFENSES = {
+    "plain": ({}, None),
+    "median+q3": (dict(replicas=3, quorum=3), ("median", {})),
+    "cclip+q3": (dict(replicas=3, quorum=3), ("centeredclip", {"tau": 5.0})),
+    "median+guard": (
+        dict(replicas=2, quorum=2, collusion_guard=True, quarantine_after=3),
+        ("median", {}),
+    ),
+}
+
+QUICK_ATTACKS = ("clean", "falsify_signflip", "collude")
+QUICK_DEFENSES = ("plain", "median+q3", "cclip+q3")
+
+
+def cell_config(plan: AdversaryPlan | None, defense: str) -> TrainingJobConfig:
+    defense_kwargs, rule_spec = DEFENSES[defense]
+    rule = None if rule_spec is None else make_rule(rule_spec[0], **rule_spec[1])
+    return TrainingJobConfig(
+        num_param_servers=1,
+        num_clients=6,
+        max_concurrent_subtasks=2,
+        model=ModelSpec("mlp", {"in_features": 108, "hidden": [32], "num_classes": 6}),
+        data=SyntheticImageConfig(image_size=6, num_classes=6, noise_std=1.0),
+        num_train=600,
+        num_val=150,
+        num_test=150,
+        num_shards=10,
+        max_epochs=MATRIX_EPOCHS,
+        seed=4242,
+        faults=FaultConfig(adversary=plan),
+        update_rule=rule,
+        **defense_kwargs,
+    )
+
+
+def credit_excess(runner: DistributedRunner) -> float | None:
+    """Cheat's per-result grant over the worst-case honest per-result grant.
+
+    ~1.0 means the claim bought nothing; ~claim_factor means the server
+    paid whatever was asked; None if the cheat was never granted (its
+    units hung or it was denied everywhere).
+    """
+    ledger = runner.server.credit
+    cheat = ledger.hosts.get("client-000")
+    if cheat is None or cheat.results_granted == 0:
+        return None
+    cheat_rate = ledger.host_total("client-000") / cheat.results_granted
+    honest_rates = [
+        ledger.host_total(h) / ledger.hosts[h].results_granted
+        for h in ledger.hosts
+        if h != "client-000" and ledger.hosts[h].results_granted
+    ]
+    return cheat_rate / min(honest_rates)
+
+
+def run_cell(attack: str, defense: str) -> dict[str, object]:
+    runner = DistributedRunner(cell_config(ATTACKS[attack], defense))
+    result = runner.run()
+    excess = credit_excess(runner)
+    return {
+        "attack": attack,
+        "defense": defense,
+        "final_val_accuracy": round(result.final_val_accuracy, 4),
+        "epochs_completed": len(result.epochs),
+        "credit_excess": None if excess is None else round(excess, 2),
+        "quorums_reached": result.counters.get("quorums_reached"),
+        "quorums_failed": result.counters.get("quorums_failed"),
+        "hosts_quarantined": result.counters.get("hosts_quarantined"),
+        "tampered_uploads": result.counters.get("adv_tampered_uploads"),
+    }
+
+
+def test_attack_defense_matrix(benchmark):
+    attacks = QUICK_ATTACKS if QUICK else tuple(ATTACKS)
+    defenses = QUICK_DEFENSES if QUICK else tuple(DEFENSES)
+
+    def sweep():
+        return {
+            (a, d): run_cell(a, d) for a in attacks for d in defenses
+        }
+
+    cells = run_once(benchmark, sweep)
+
+    rows = []
+    for a in attacks:
+        for d in defenses:
+            c = cells[(a, d)]
+            rows.append(
+                [
+                    a,
+                    d,
+                    f"{c['final_val_accuracy']:.3f}",
+                    "-" if c["credit_excess"] is None else f"{c['credit_excess']:.1f}x",
+                    c["quorums_reached"] if c["quorums_reached"] is not None else "-",
+                    c["quorums_failed"] if c["quorums_failed"] is not None else "-",
+                    c["hosts_quarantined"]
+                    if c["hosts_quarantined"] is not None
+                    else "-",
+                ]
+            )
+    table = render_table(
+        ["attack", "defense", "final acc", "credit", "qreach", "qfail", "quar"],
+        rows,
+        title=(
+            f"Byzantine attack/defense matrix, P1C6T2 x {MATRIX_EPOCHS} epochs"
+            f"{' (quick)' if QUICK else ''}"
+        ),
+    )
+    emit(f"attack_defense_matrix{'_quick' if QUICK else ''}", table)
+    if not QUICK:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "attack_defense_matrix.json").write_text(
+            json.dumps(
+                {
+                    "workload": f"P1C6T2 x {MATRIX_EPOCHS} epochs, 10 shards",
+                    "seed": 4242,
+                    "thresholds": {"converged": CONVERGED, "diverged": DIVERGED},
+                    "cells": [cells[(a, d)] for a in attacks for d in defenses],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    param_attacks = [
+        a for a in attacks if a not in ("clean", "claim_inflate")
+    ]
+    robust = [d for d in defenses if d != "plain"]
+
+    # (0) Sanity: everything converges when nobody attacks.
+    for d in defenses:
+        assert cells[("clean", d)]["final_val_accuracy"] >= 0.85, d
+
+    for a in param_attacks:
+        # (1) The trusting baseline diverges or stalls under every
+        #     parameter-plane attack...
+        assert cells[(a, "plain")]["final_val_accuracy"] < DIVERGED, a
+        # ... and every robust rule + quorum combination still converges.
+        for d in robust:
+            cell = cells[(a, d)]
+            assert cell["epochs_completed"] == MATRIX_EPOCHS, (a, d)
+            assert cell["final_val_accuracy"] >= CONVERGED, (a, d)
+        # The attacks were real: uploads actually got tampered.
+        assert cells[(a, "plain")]["tampered_uploads"] > 0, a
+
+    # (2) Credit plane: plain granting pays the claim; the 3-claim median
+    #     pays the honest rate.
+    if "claim_inflate" in attacks:
+        assert cells[("claim_inflate", "plain")]["credit_excess"] >= 50.0
+        for d in ("median+q3", "cclip+q3"):
+            if d in defenses:
+                assert cells[("claim_inflate", d)]["credit_excess"] <= 1.5, d
+        # Known limitation, pinned: the 2-claim quorum median is a midpoint,
+        # so the guard column still leaks credit (but far below the claim).
+        if "median+guard" in defenses:
+            leak = cells[("claim_inflate", "median+guard")]["credit_excess"]
+            assert 10.0 <= leak <= 60.0
+
+    # (3) The guard column earns its keep: attackers are quarantined and
+    #     more updates survive than under full 3-of-3 replication.
+    if "median+guard" in defenses:
+        for a in param_attacks:
+            guard = cells[(a, "median+guard")]
+            assert guard["hosts_quarantined"] >= 1, a
+            if "median+q3" in defenses:
+                assert (
+                    guard["quorums_reached"]
+                    > cells[(a, "median+q3")]["quorums_reached"]
+                ), a

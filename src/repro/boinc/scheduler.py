@@ -84,8 +84,16 @@ class SchedulerConfig:
     ping_busy_s: float = 5.0
     ping_idle_base_s: float = 30.0
     ping_idle_max_s: float = 1800.0
+    # Quarantine loop (Byzantine defense): a host whose results are
+    # invalidated (validator reject or quorum loss) this many times is
+    # barred from further assignment.  0 disables the loop entirely — the
+    # historical behaviour, where invalid results never fed back into
+    # scheduling.
+    quarantine_after: int = 0
 
     def __post_init__(self) -> None:
+        if self.quarantine_after < 0:
+            raise SchedulerError("quarantine_after must be non-negative")
         if self.queue_impl not in QUEUE_IMPLS:
             raise SchedulerError(
                 f"unknown queue_impl {self.queue_impl!r}; use one of {QUEUE_IMPLS}"
@@ -115,6 +123,10 @@ class ClientRecord:
     seen_logical: set[str] = field(default_factory=set)
     # Consecutive pings that found an empty queue (drives idle-hint growth).
     empty_pings: int = 0
+    # Byzantine-defense bookkeeping: results invalidated (validator reject
+    # or quorum loss) and whether the host crossed the quarantine bar.
+    invalid_results: int = 0
+    quarantined: bool = False
 
 
 class Scheduler:
@@ -153,6 +165,7 @@ class Scheduler:
         self.cancellations = 0
         self.pings = 0
         self.stale_heartbeats = 0
+        self.hosts_quarantined = 0
 
     # -- registration -----------------------------------------------------
     def register_client(self, client_id: str) -> ClientRecord:
@@ -214,6 +227,8 @@ class Scheduler:
         """Hand out up to ``max_units`` workunits to ``client_id``."""
         record = self.register_client(client_id)
         if max_units <= 0:
+            return []
+        if record.quarantined:
             return []
         if self.sim.now < record.backoff_until:
             return []
@@ -322,6 +337,10 @@ class Scheduler:
     def _sleep_hint(self, record: ClientRecord) -> tuple[float, str]:
         """Backoff-, queue-depth- and probation-derived sleep suggestion."""
         cfg = self.config
+        if record.quarantined:
+            # No amount of waiting makes a quarantined host eligible again;
+            # park it for the maximum idle interval.
+            return cfg.ping_idle_max_s, "quarantined"
         if self.sim.now < record.backoff_until:
             # Failure backoff dominates: no grant can happen before expiry.
             return record.backoff_until - self.sim.now + 1e-6, "backoff"
@@ -476,6 +495,32 @@ class Scheduler:
         if self.trace is not None:
             self.trace.emit(self.sim.now, "sched.cancelled", wu=wu_id)
         return computing_client
+
+    def record_invalid_result(self, client_id: str) -> bool:
+        """Charge one invalidated result (validator reject or quorum loss)
+        against the host's record.
+
+        Only called when the Byzantine defenses are enabled (quarantine or
+        collusion guard) — the historical path never fed invalid results
+        back into scheduling, and default runs stay bit-identical.  The
+        penalty rides the existing reliability EWMA, so a repeatedly
+        invalidated host first falls into the ping-protocol probation path
+        and, once ``quarantine_after`` invalidations accumulate, is barred
+        from assignment outright.  Returns True when this call newly
+        quarantined the host.
+        """
+        record = self.register_client(client_id)
+        record.invalid_results += 1
+        self._bump_reliability(record, success=False)
+        if (
+            self.config.quarantine_after > 0
+            and record.invalid_results >= self.config.quarantine_after
+            and not record.quarantined
+        ):
+            record.quarantined = True
+            self.hosts_quarantined += 1
+            return True
+        return False
 
     def requeue_after_invalid(self, wu_id: str) -> bool:
         """Validator rejected the result; retry if budget remains."""

@@ -16,6 +16,7 @@ from .assimilator import Assimilator
 from .client import ClientDaemon
 from .credit import CreditClaim, CreditLedger
 from .files import FileCatalog, WebServer
+from .replication import QuorumAssimilator
 from .scheduler import Scheduler, SchedulerConfig
 from .validator import ParameterValidator
 from .workunit import Workunit
@@ -58,6 +59,25 @@ class BoincServer:
         # Invoked after every assimilation completes; the job runner uses it
         # to detect epoch boundaries.
         self.on_assimilated: Callable[[Workunit], None] | None = None
+        # Byzantine defenses.  ``invalid_feedback`` routes every invalidated
+        # result (validator reject or quorum loss) into the scheduler's
+        # reliability EWMA and quarantine counter — off by default, so
+        # historical runs never see scheduling perturbed by rejects.
+        self.invalid_feedback = False
+        # Quorum-deferred credit: claims of valid replicas are stashed here
+        # (physical wu_id -> claim) until the replica group decides, then
+        # the winning clique is granted the *median* claim and losers are
+        # denied — BOINC's claim-inflation defense.
+        self._quorum_credit = False
+        self._quorum_claims: dict[str, CreditClaim] = {}
+        self._quorum_grants: dict[str, float] = {}
+
+    def enable_quorum_credit(self, quorum: QuorumAssimilator) -> None:
+        """Defer credit decisions to the replica-quorum outcome."""
+        self._quorum_credit = True
+        quorum.on_quorum = self._on_quorum_decided
+        quorum.on_late = self._on_late_replica
+        quorum.on_failed = self._on_quorum_failed
 
     @property
     def work_fetch(self) -> str:
@@ -101,22 +121,41 @@ class BoincServer:
         verdict = self.validator.validate(payload, now=self.sim.now, wu_id=wu.wu_id)
         if not verdict.ok:
             self.trace.emit(
-                self.sim.now, "server.invalid_result", wu=wu.wu_id, reason=verdict.reason
+                self.sim.now,
+                "server.result_invalid",
+                wu=wu.wu_id,
+                reason=verdict.reason,
+                code=verdict.code,
             )
             self.credit.deny(host, now=self.sim.now)
-            self.trace.emit(self.sim.now, "credit.deny", wu=wu.wu_id, host=host)
+            self.trace.emit(
+                self.sim.now, "credit.deny", wu=wu.wu_id, host=host, reason="invalid"
+            )
+            self._record_invalid(host)
             retried = self.scheduler.requeue_after_invalid(wu.wu_id)
             if retried:
                 self.poke_clients()
             return
         self.trace.emit(self.sim.now, "server.result_valid", wu=wu.wu_id, host=host)
-        self.credit.grant_single(
-            CreditClaim(host_id=host, wu_id=wu.wu_id, claimed=wu.work_units),
-            now=self.sim.now,
+        claimed = getattr(payload, "claimed_credit", None)
+        claim = CreditClaim(
+            host_id=host,
+            wu_id=wu.wu_id,
+            claimed=wu.work_units if claimed is None else float(claimed),
         )
-        self.trace.emit(
-            self.sim.now, "credit.grant", wu=wu.wu_id, host=host, amount=wu.work_units
-        )
+        if self._quorum_credit:
+            # Credit waits for the replica group's verdict: winners share
+            # the median claim, losers are denied (see enable_quorum_credit).
+            self._quorum_claims[wu.wu_id] = claim
+        else:
+            self.credit.grant_single(claim, now=self.sim.now)
+            self.trace.emit(
+                self.sim.now,
+                "credit.grant",
+                wu=wu.wu_id,
+                host=host,
+                amount=claim.claimed,
+            )
         wu.mark_valid(self.sim.now, result=None)  # payload flows to assimilator
 
         def assimilation_done() -> None:
@@ -125,6 +164,99 @@ class BoincServer:
                 self.on_assimilated(wu)
 
         self.assimilator.assimilate(wu, payload, assimilation_done)
+
+    # -- quorum-deferred credit ------------------------------------------------
+    def _on_quorum_decided(
+        self, key: str, winners: list[Workunit], losers: list[Workunit]
+    ) -> None:
+        claims = [
+            self._quorum_claims.pop(wu.wu_id)
+            for wu in winners
+            if wu.wu_id in self._quorum_claims
+        ]
+        if claims:
+            grant = self.credit.grant_quorum(claims, now=self.sim.now)
+            self._quorum_grants[key] = grant
+            for claim in claims:
+                self.trace.emit(
+                    self.sim.now,
+                    "credit.grant",
+                    wu=claim.wu_id,
+                    host=claim.host_id,
+                    amount=grant,
+                )
+        for wu in losers:
+            claim = self._quorum_claims.pop(wu.wu_id, None)
+            loser_host = (
+                claim.host_id if claim is not None else wu.current_attempt.client_id
+            )
+            self.credit.deny(loser_host, now=self.sim.now)
+            self.trace.emit(
+                self.sim.now,
+                "credit.deny",
+                wu=wu.wu_id,
+                host=loser_host,
+                reason="quorum_loss",
+            )
+            self._record_invalid(loser_host)
+
+    def _on_late_replica(self, key: str, wu: Workunit, agrees: bool) -> None:
+        claim = self._quorum_claims.pop(wu.wu_id, None)
+        if claim is None:
+            return
+        grant = self._quorum_grants.get(key)
+        if agrees and grant is not None:
+            # BOINC grants a straggler that matches the canonical result
+            # the already-decided quorum amount, not its own claim.
+            self.credit.grant_single(
+                CreditClaim(host_id=claim.host_id, wu_id=claim.wu_id, claimed=grant),
+                now=self.sim.now,
+            )
+            self.trace.emit(
+                self.sim.now,
+                "credit.grant",
+                wu=claim.wu_id,
+                host=claim.host_id,
+                amount=grant,
+            )
+            return
+        self.credit.deny(claim.host_id, now=self.sim.now)
+        self.trace.emit(
+            self.sim.now,
+            "credit.deny",
+            wu=claim.wu_id,
+            host=claim.host_id,
+            reason="quorum_loss",
+        )
+        self._record_invalid(claim.host_id)
+
+    def _on_quorum_failed(self, key: str, workunits: list[Workunit]) -> None:
+        for wu in workunits:
+            claim = self._quorum_claims.pop(wu.wu_id, None)
+            if claim is None:
+                continue
+            self.credit.deny(claim.host_id, now=self.sim.now)
+            self.trace.emit(
+                self.sim.now,
+                "credit.deny",
+                wu=claim.wu_id,
+                host=claim.host_id,
+                reason="quorum_failed",
+            )
+            self._record_invalid(claim.host_id)
+
+    def _record_invalid(self, host: str) -> None:
+        """Feed one invalidated result into the reliability/quarantine loop."""
+        if not self.invalid_feedback:
+            return
+        if self.scheduler.record_invalid_result(host):
+            record = self.scheduler.client(host)
+            self.trace.emit(
+                self.sim.now,
+                "credit.quarantine",
+                host=host,
+                invalids=record.invalid_results,
+            )
 
     def _notify_timeout(self, wu_id: str, client_id: str) -> None:
         client = self.clients.get(client_id)

@@ -46,6 +46,7 @@ from .core import (
     run_experiment,
 )
 from .core.baselines import run_single_instance
+from .errors import ConfigurationError
 from .core.checkpoint import load_checkpoint, save_checkpoint
 from .core.runner import DistributedRunner
 from .obs import (
@@ -59,6 +60,12 @@ from .obs import (
     write_trace_jsonl,
 )
 from .simulation import BernoulliSubtaskModel
+from .simulation.adversary import (
+    ATTACK_KINDS,
+    AdversaryBehavior,
+    AdversaryPlan,
+    SybilFleet,
+)
 from .simulation.chaos import (
     ChaosPlan,
     PartitionWindow,
@@ -161,6 +168,22 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         help="do not restore from the epoch checkpoint after a total "
         "parameter-server outage",
     )
+    adv = parser.add_argument_group("byzantine adversaries")
+    adv.add_argument(
+        "--adversary",
+        action="append",
+        default=[],
+        metavar="CLIENTS:ATTACK[:MAGNITUDE[:CLAIM_FACTOR]]",
+        help="compromise clients (comma list of ids) with ATTACK "
+        f"(one of {', '.join(ATTACK_KINDS)}); repeatable",
+    )
+    adv.add_argument(
+        "--sybils",
+        action="append",
+        default=[],
+        metavar="IDENTITY:COUNT:ATTACK[:MAGNITUDE]",
+        help="add COUNT sybil clients under one adversary identity; repeatable",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +225,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(run_p)
     run_p.add_argument("--replicas", type=int, default=1)
     run_p.add_argument("--quorum", type=int, default=None)
+    defense = run_p.add_argument_group("byzantine defenses")
+    defense.add_argument(
+        "--collusion-guard",
+        action="store_true",
+        help="reliability-weighted canonical selection in the replica quorum",
+    )
+    defense.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bar a host from work after N invalidated results (0 = never)",
+    )
+    defense.add_argument(
+        "--max-param-norm",
+        type=float,
+        default=None,
+        metavar="NORM",
+        help="validator rejects uploads whose parameter L2 norm exceeds NORM",
+    )
     run_p.add_argument("--autoscale", action="store_true")
     run_p.add_argument(
         "--work-fetch",
@@ -389,8 +432,39 @@ def _parse_kv_degrade(text: str) -> StoreFaultWindow:
     return StoreFaultWindow(float(fields[0]), float(fields[1]), float(fields[2]))
 
 
+def _parse_adversary_behavior(text: str) -> AdversaryBehavior:
+    fields = _split_fields(text, "CLIENTS:ATTACK[:MAGNITUDE[:CLAIM_FACTOR]]", 2, 4)
+    clients = tuple(c.strip() for c in fields[0].split(",") if c.strip())
+    try:
+        return AdversaryBehavior(
+            clients=clients,
+            attack=fields[1],
+            magnitude=float(fields[2]) if len(fields) > 2 else 1.0,
+            claim_factor=float(fields[3]) if len(fields) > 3 else 1.0,
+        )
+    except ConfigurationError as err:
+        raise SystemExit(f"--adversary {text!r}: {err}") from err
+
+
+def _parse_sybils(text: str) -> SybilFleet:
+    fields = _split_fields(text, "IDENTITY:COUNT:ATTACK[:MAGNITUDE]", 3, 4)
+    try:
+        return SybilFleet(
+            identity=fields[0],
+            count=int(fields[1]),
+            attack=fields[2],
+            magnitude=float(fields[3]) if len(fields) > 3 else 1.0,
+        )
+    except ConfigurationError as err:
+        raise SystemExit(f"--sybils {text!r}: {err}") from err
+
+
 def _parse_faults(args: argparse.Namespace) -> FaultConfig:
     """Build the FaultConfig (including any chaos plan) from CLI flags."""
+    adversary = AdversaryPlan(
+        behaviors=tuple(_parse_adversary_behavior(b) for b in args.adversary),
+        sybils=tuple(_parse_sybils(s) for s in args.sybils),
+    )
     plan = ChaosPlan(
         transfer=TransferFaultPlan(
             failure_p=args.xfer_fail_p,
@@ -410,6 +484,7 @@ def _parse_faults(args: argparse.Namespace) -> FaultConfig:
         volunteer_arrivals_per_hour=args.churn_per_hour,
         max_volunteers=args.max_volunteers,
         chaos=plan if plan.active else None,
+        adversary=adversary if adversary.active else None,
     )
 
 
@@ -456,6 +531,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store_kind=args.store,
         replicas=args.replicas,
         quorum=args.quorum if args.quorum is not None else min(2, args.replicas),
+        collusion_guard=args.collusion_guard,
+        quarantine_after=args.quarantine_after,
+        max_param_norm=args.max_param_norm,
         ps_autoscale=args.autoscale,
         warm_start_passes=args.warm_start,
         work_fetch=args.work_fetch,

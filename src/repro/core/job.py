@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from ..data.synthetic import SyntheticImageConfig
 from ..errors import ConfigurationError
 from ..nn.models import ModelSpec
+from ..simulation.adversary import AdversaryPlan
 from ..simulation.chaos import ChaosPlan
 from ..simulation.resources import TABLE1_CLIENTS, TABLE1_SERVER, InstanceSpec
 from .rules import UpdateRule, VCASGDRule
@@ -75,6 +76,12 @@ class FaultConfig:
     # crash/restart schedules, and KV-store outage windows.  None (or an
     # all-empty plan) leaves every layer healthy.
     chaos: ChaosPlan | None = None
+    # Byzantine adversary plan (see repro.simulation.adversary): per-client
+    # malicious behaviours — falsified uploads, gradient poisoning, claim
+    # inflation, sybil fleets, colluding replicas.  None (or an empty plan)
+    # keeps every client honest and the run bit-identical to a fabric-free
+    # build.
+    adversary: AdversaryPlan | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.preemption_hourly_p < 1.0:
@@ -88,6 +95,11 @@ class FaultConfig:
         if self.chaos is not None and not isinstance(self.chaos, ChaosPlan):
             raise ConfigurationError(
                 f"chaos must be a ChaosPlan or None, got {type(self.chaos).__name__}"
+            )
+        if self.adversary is not None and not isinstance(self.adversary, AdversaryPlan):
+            raise ConfigurationError(
+                f"adversary must be an AdversaryPlan or None, "
+                f"got {type(self.adversary).__name__}"
             )
 
 
@@ -176,6 +188,22 @@ class TrainingJobConfig:
     replicas: int = 1
     quorum: int = 1
 
+    # -- Byzantine defenses ------------------------------------------------------
+    # Collusion-aware canonical selection: the quorum assimilator weighs
+    # agreement cliques by the per-host scheduler reliability instead of
+    # raw clique size, so a cartel of unreliable hosts submitting
+    # bit-identical wrong answers cannot out-vote honest replicas.  Off by
+    # default (bit-identical to the size-based selection).
+    collusion_guard: bool = False
+    # Quarantine loop: a host whose results are invalidated this many
+    # times is barred from further work assignment (0 disables — the
+    # pre-fabric behaviour, where validator rejects never touched
+    # scheduler reliability).
+    quarantine_after: int = 0
+    # Validator parameter-norm bound: reject uploads whose parameter L2
+    # norm exceeds this (None disables; the finite/peak checks always run).
+    max_param_norm: float | None = None
+
     # -- fault model & reproducibility ----------------------------------------
     faults: FaultConfig = field(default_factory=FaultConfig)
     seed: int = 1234
@@ -217,6 +245,10 @@ class TrainingJobConfig:
                 "replicas cannot exceed num_clients: replicas must land on "
                 "distinct hosts (BOINC's one-result-per-host rule)"
             )
+        if self.quarantine_after < 0:
+            raise ConfigurationError("quarantine_after must be non-negative")
+        if self.max_param_norm is not None and self.max_param_norm <= 0:
+            raise ConfigurationError("max_param_norm must be positive or None")
 
     # -- conveniences -----------------------------------------------------------
     @property

@@ -55,6 +55,8 @@ __all__ = [
     "DCASGDRule",
     "RescaledASGDRule",
     "SyncAllReduceRule",
+    "CoordMedianRule",
+    "CenteredClipRule",
     "RULE_NAMES",
     "make_rule",
 ]
@@ -80,6 +82,11 @@ class ClientUpdate:
     params: np.ndarray
     gradient: np.ndarray | None = None
     base_version: int = 0
+    #: BOINC-style credit the client *claims* for this result (None = the
+    #: server-side nominal cost).  Honest clients leave it None; the
+    #: adversary fabric's claim-inflation attack sets it, and the credit
+    #: ledger defends by granting the median of a quorum's claims.
+    claimed_credit: float | None = None
 
 
 class UpdateRule:
@@ -470,9 +477,198 @@ class RescaledASGDRule(UpdateRule):
         return f"RescaledASGD(lr={self.server_lr}, p={self.power:g})"
 
 
+# -- robust aggregation (Byzantine defense) ---------------------------------
+
+
+class _WindowedRule(UpdateRule):
+    """Shared machinery: a ring buffer of the most recent client params.
+
+    Robust aggregators need *several* client vectors to out-vote a
+    Byzantine minority, but the BOINC pipeline delivers results one at a
+    time.  The window turns the stream into a sliding population: each
+    arriving update is pushed, then the robust aggregate of the window
+    replaces the raw client vector in the Eq. 1 merge
+    ``W_s ← α·W_s + (1−α)·agg(window)``.  The buffer participates in
+    ``state_dict`` so a checkpoint resume sees the same population.
+    """
+
+    window: int
+    _buf: np.ndarray | None
+    _filled: int
+    _next: int
+
+    def _push(self, params: np.ndarray) -> np.ndarray:
+        """Append ``params`` to the ring; return the filled-rows view."""
+        if self._buf is None or self._buf.shape[1:] != params.shape:
+            self._buf = np.empty((self.window,) + params.shape)
+            self._filled = 0
+            self._next = 0
+        np.copyto(self._buf[self._next], params)
+        self._next = (self._next + 1) % self.window
+        self._filled = min(self._filled + 1, self.window)
+        return self._buf[: self._filled]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._buf is None:
+            return {}
+        return {
+            "window_buf": self._buf[: self._filled].copy(),
+            "window_next": np.asarray([self._next]),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if not state:
+            self._buf = None
+            self._filled = 0
+            self._next = 0
+            return
+        rows = np.asarray(state["window_buf"], dtype=np.float64)
+        self._buf = np.empty((self.window,) + rows.shape[1:])
+        self._filled = min(rows.shape[0], self.window)
+        np.copyto(self._buf[: self._filled], rows[: self._filled])
+        self._next = int(np.asarray(state["window_next"])[0]) % self.window
+
+
+@dataclass
+class CoordMedianRule(_WindowedRule):
+    """Coordinate-wise median over a window of recent client results.
+
+    The classic Byzantine-robust aggregator (Yin et al. 2018): each
+    parameter coordinate takes the median of the last ``window`` client
+    vectors, so any minority of falsified uploads is out-voted
+    coordinate-by-coordinate.  The median then enters the paper's Eq. 1
+    with the configured α schedule — identical server-side semantics to
+    VC-ASGD, just a robustified client vector.
+    """
+
+    schedule: AlphaSchedule
+    window: int = 5
+    fault_tolerant: bool = True
+    _buf: np.ndarray | None = field(default=None, repr=False)
+    _filled: int = field(default=0, repr=False)
+    _next: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        rows = self._push(update.params)
+        median = np.median(rows, axis=0, out=self._scratch(server.shape))
+        return vcasgd_merge(
+            server,
+            median,
+            self.schedule.alpha_at(epoch),
+            out=out,
+            scratch=self._scratch(server.shape, slot=1),
+        )
+
+    def describe(self) -> str:
+        return f"CoordMedian(w={self.window}, {self.schedule.describe()})"
+
+    def merge_weight(self, epoch: int) -> float | None:
+        return float(self.schedule.alpha_at(epoch))
+
+
+@dataclass
+class CenteredClipRule(_WindowedRule):
+    """CenteredClip (Gorbunov et al., "Secure Distributed Training at Scale").
+
+    Iteratively refines an estimate ``v`` starting at the current server
+    copy::
+
+        v ← v + (1/k) · Σ_i clip(x_i − v, τ)
+
+    where ``clip(d, τ)`` rescales ``d`` to L2 norm at most τ.  Honest
+    updates (small deltas off the server copy) pass through nearly
+    unclipped; falsified vectors far from consensus contribute at most a
+    τ-length pull per iteration, bounding Byzantine influence regardless
+    of magnitude.  The converged ``v`` then enters Eq. 1 with the α
+    schedule, like every averaging rule on this substrate.
+    """
+
+    schedule: AlphaSchedule
+    tau: float = 1.0
+    iters: int = 3
+    window: int = 5
+    fault_tolerant: bool = True
+    _buf: np.ndarray | None = field(default=None, repr=False)
+    _filled: int = field(default=0, repr=False)
+    _next: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ConfigurationError("tau must be positive")
+        if self.iters < 1:
+            raise ConfigurationError("iters must be >= 1")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+
+    def apply(self, server: np.ndarray, update: ClientUpdate, epoch: int) -> np.ndarray:
+        return self.apply_into(server, update, epoch, np.empty_like(server))
+
+    def apply_into(
+        self,
+        server: np.ndarray,
+        update: ClientUpdate,
+        epoch: int,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        rows = self._push(update.params)
+        v = self._scratch(server.shape)
+        np.copyto(v, server)
+        diff = self._scratch(server.shape, slot=1)
+        acc = self._scratch(server.shape, slot=2)
+        inv_k = 1.0 / rows.shape[0]
+        for _ in range(self.iters):
+            acc.fill(0.0)
+            for row in rows:
+                np.subtract(row, v, out=diff)
+                norm = float(np.linalg.norm(diff))
+                if norm > self.tau:
+                    np.multiply(diff, self.tau / norm, out=diff)
+                np.add(acc, diff, out=acc)
+            np.multiply(acc, inv_k, out=acc)
+            np.add(v, acc, out=v)
+        return vcasgd_merge(
+            server,
+            v,
+            self.schedule.alpha_at(epoch),
+            out=out,
+            scratch=diff,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"CenteredClip(tau={self.tau:g}, iters={self.iters}, "
+            f"w={self.window}, {self.schedule.describe()})"
+        )
+
+    def merge_weight(self, epoch: int) -> float | None:
+        return float(self.schedule.alpha_at(epoch))
+
+
 # -- factory (CLI / sweep surface) ------------------------------------------
 
-RULE_NAMES = ("vcasgd", "downpour", "easgd", "dcasgd", "rescaled", "allreduce")
+RULE_NAMES = (
+    "vcasgd",
+    "downpour",
+    "easgd",
+    "dcasgd",
+    "rescaled",
+    "allreduce",
+    "median",
+    "centeredclip",
+)
 
 
 def make_rule(
@@ -486,6 +682,10 @@ def make_rule(
     key = name.strip().lower().replace("-", "").replace("_", "")
     if key == "vcasgd":
         return VCASGDRule(alpha_schedule or VarAlpha(), **kwargs)
+    if key in ("median", "coordmedian"):
+        return CoordMedianRule(alpha_schedule or VarAlpha(), **kwargs)
+    if key in ("centeredclip", "cclip"):
+        return CenteredClipRule(alpha_schedule or VarAlpha(), **kwargs)
     if key == "easgd" and alpha_schedule is not None and not kwargs:
         # The paper reads alpha=0.999 as EASGD beta=0.001; honour a constant
         # alpha by translating it to the moving rate.

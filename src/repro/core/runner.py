@@ -49,6 +49,7 @@ from ..nn.optim import SGD, Adam
 from ..nn.serialization import GradientAccumulator, StateLayout
 from ..nn.tensor import Tensor
 from ..obs.runtime import ObservabilityConfig, RunObservability
+from ..simulation.adversary import AdversaryFabric
 from ..simulation.chaos import ChaosPlan, PartitionSchedule
 from ..simulation.congestion import CongestedLink, CongestionSchedule
 from ..simulation.engine import Simulator
@@ -242,7 +243,9 @@ class DistributedRunner:
             self.quorum = QuorumAssimilator(
                 inner=self.pool,
                 config=QuorumConfig(
-                    replicas=config.replicas, min_quorum=config.quorum
+                    replicas=config.replicas,
+                    min_quorum=config.quorum,
+                    collusion_aware=config.collusion_guard,
                 ),
                 trace=self.trace,
                 sim=self.sim,
@@ -251,7 +254,11 @@ class DistributedRunner:
             assimilator = self.quorum
 
         # ---- BOINC server ----------------------------------------------------
-        validator = ParameterValidator(expected_size=self.param_size, trace=self.trace)
+        validator = ParameterValidator(
+            expected_size=self.param_size,
+            max_norm=config.max_param_norm,
+            trace=self.trace,
+        )
         transfer_faults = None
         partitions = None
         if self._chaos is not None:
@@ -271,6 +278,7 @@ class DistributedRunner:
                 heartbeats_enabled=config.heartbeats_enabled,
                 queue_impl=config.sched_queue_impl,
                 work_fetch=config.work_fetch,
+                quarantine_after=config.quarantine_after,
             ),
             compression_enabled=config.compression_enabled,
             trace=self.trace,
@@ -281,6 +289,20 @@ class DistributedRunner:
         # Ping-mode sleep hints fold in assimilation backpressure: an idle
         # fleet slows its polling while the merge pipeline is saturated.
         self.server.scheduler.backpressure_fn = self.pool.backpressure_s
+        if self.quorum is not None:
+            # Credit follows the replica-group verdict (median of the
+            # winning clique's claims; losers denied), and collusion-aware
+            # selection reads the scheduler's per-host reliability EWMA.
+            self.server.enable_quorum_credit(self.quorum)
+            self.quorum.reliability_fn = (
+                lambda host: self.server.scheduler.register_client(host).reliability
+            )
+        # Invalidated results feed the reliability/quarantine loop only
+        # when a Byzantine defense asked for it — the historical path never
+        # let validator rejects perturb scheduling.
+        self.server.invalid_feedback = (
+            config.quarantine_after > 0 or config.collusion_guard
+        )
 
         # ---- work generator ---------------------------------------------------
         self.work_generator = WorkGenerator(
@@ -317,6 +339,16 @@ class DistributedRunner:
             )
         self._republish_params(initial_vec)
 
+        # ---- adversary fabric (Byzantine clients) -------------------------------
+        # Built before the fleet so behaviour assignments resolve against
+        # the client ids about to be launched.  None (no plan / empty
+        # plan) keeps the run bit-identical to a fabric-free build: honest
+        # clients never touch this object.
+        adv_plan = config.faults.adversary
+        self._adversary: AdversaryFabric | None = None
+        if adv_plan is not None and adv_plan.active:
+            self._adversary = AdversaryFabric(adv_plan, self.rngs, self.trace)
+
         # ---- client fleet ------------------------------------------------------
         self._client_models: dict[str, Module] = {}
         self._client_arrays: dict[str, dict[str, np.ndarray]] = {}
@@ -324,6 +356,24 @@ class DistributedRunner:
         self.preemptions = 0
         for i in range(config.num_clients):
             self._launch_client(config.spec_for_client(i))
+        if self._adversary is not None:
+            # Sybil fleets join after the honest fleet: many logical
+            # clients behind one adversary identity (§II-A open enrollment
+            # means the server cannot tell them apart from volunteers).
+            for fleet in adv_plan.sybils:
+                for k in range(fleet.count):
+                    sid = f"sybil-{fleet.identity}-{k:03d}"
+                    self._adversary.register_sybil(fleet, sid)
+                    self._launch_client(
+                        config.spec_for_client(config.num_clients + k),
+                        client_id=sid,
+                    )
+                    self.trace.emit(
+                        self.sim.now,
+                        "adv.sybil_joined",
+                        client=sid,
+                        identity=fleet.identity,
+                    )
         self._volunteers_joined = 0
         if config.faults.volunteer_arrivals_per_hour > 0:
             self._schedule_next_volunteer()
@@ -388,9 +438,12 @@ class DistributedRunner:
     # ------------------------------------------------------------------
     # Client fleet management
     # ------------------------------------------------------------------
-    def _launch_client(self, spec) -> ClientDaemon:
-        cid = f"client-{self._client_counter:03d}"
-        self._client_counter += 1
+    def _launch_client(self, spec, client_id: str | None = None) -> ClientDaemon:
+        if client_id is None:
+            cid = f"client-{self._client_counter:03d}"
+            self._client_counter += 1
+        else:
+            cid = client_id
         cache_cap = 8e9 if self.config.sticky_files_enabled else 1.0
         link = spec.default_link()
         if self.config.congestion is not None:
@@ -522,11 +575,28 @@ class DistributedRunner:
                 opt.step()
         new_vec = self._layout.pack(self._client_arrays[client_id])
         new_vec = self._maybe_corrupt(client_id, new_vec)
+        gradient = None if accumulator is None else accumulator.total
+        claimed: float | None = None
+        if self._adversary is not None and self._adversary.compromised(client_id):
+            tampered = self._adversary.tamper(
+                client_id=client_id,
+                wu_id=wu.wu_id,
+                logical_id=logical_id(wu.wu_id),
+                base_params=param_vec,
+                honest_params=new_vec,
+                honest_gradient=gradient,
+                honest_credit=wu.work_units,
+                now=self.sim.now,
+            )
+            new_vec = tampered.params
+            gradient = tampered.gradient
+            claimed = tampered.claimed_credit
         update = ClientUpdate(
             client_id=client_id,
             params=new_vec,
-            gradient=None if accumulator is None else accumulator.total,
+            gradient=gradient,
             base_version=published.version,
+            claimed_credit=claimed,
         )
         return update, self._param_wire_bytes
 
@@ -539,6 +609,9 @@ class DistributedRunner:
         """
         faults = self.config.faults
         if faults.corrupt_clients == 0:
+            return vec
+        if not client_id.startswith("client-"):
+            # Sybils and volunteers are never in the corrupt-index range.
             return vec
         try:
             index = int(client_id.rsplit("-", 1)[1])
@@ -909,6 +982,19 @@ class DistributedRunner:
                     "kv_degraded_ops": self.store.degraded_ops,
                 }
             )
+        # Byzantine extras, gated identically: adversary-free, defense-free
+        # runs keep their historical counter set bit-for-bit.
+        if self._adversary is not None:
+            self.result.counters.update(
+                {
+                    "adv_tampered_uploads": self._adversary.tampered_uploads,
+                    "adv_inflated_claims": self._adversary.inflated_claims,
+                }
+            )
+        if self.config.quarantine_after > 0:
+            self.result.counters["hosts_quarantined"] = sched.hosts_quarantined
+        if self.config.collusion_guard and self.quorum is not None:
+            self.result.counters["quorums_failed"] = self.quorum.quorums_failed
 
 
     def checkpoint(self) -> Checkpoint:

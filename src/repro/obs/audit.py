@@ -30,6 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..boinc.replication import logical_id
 from ..errors import InvariantViolation
 from ..simulation.tracing import Trace, TraceRecord
 
@@ -75,6 +76,13 @@ class InvariantAuditor:
         self._exhausted: set[str] = set()  # sched.exhausted (-> ERROR)
         self._cancelled: set[str] = set()  # sched.cancelled
         self._denials = 0
+        # Quorum-deferred credit bookkeeping: valid replicas denied by
+        # their quorum (loser/failed), and logical units whose quorum
+        # reached a verdict (reached or failed) — replicas of undecided
+        # units may legitimately end the run unpaid.
+        self._quorum_denied: set[str] = set()
+        self._decided_logicals: set[str] = set()
+        self._quarantined_hosts: set[str] = set()
         self._last_version: int | None = None
         self._open_epoch: int | None = None
         self._epochs_ended = 0
@@ -117,6 +125,11 @@ class InvariantAuditor:
             and wu not in self._cancelled,
             f"workunit {wu} assigned after reaching a terminal state",
         )
+        client = r.get("client")
+        self._check(
+            client not in self._quarantined_hosts,
+            f"workunit {wu} assigned to quarantined host {client}",
+        )
 
     def _audit_sched_exhausted(self, r: TraceRecord) -> None:
         wu = r["wu"]
@@ -150,6 +163,25 @@ class InvariantAuditor:
 
     def _audit_credit_deny(self, r: TraceRecord) -> None:
         self._denials += 1
+        wu = r.get("wu")
+        if wu in self._valid:
+            # Denial of an already-valid result can only come from the
+            # quorum (loser clique or failed unit) — partition it out of
+            # the must-be-paid set checked at verify().
+            self._quorum_denied.add(wu)
+
+    def _audit_quorum_reached(self, r: TraceRecord) -> None:
+        self._decided_logicals.add(r["logical"])
+
+    def _audit_quorum_failed(self, r: TraceRecord) -> None:
+        self._decided_logicals.add(r["logical"])
+
+    def _audit_credit_quarantine(self, r: TraceRecord) -> None:
+        host = r["host"]
+        self._check(
+            host not in self._quarantined_hosts, f"host {host} quarantined twice"
+        )
+        self._quarantined_hosts.add(host)
 
     def _audit_server_assimilated(self, r: TraceRecord) -> None:
         wu = r["wu"]
@@ -208,12 +240,30 @@ class InvariantAuditor:
             f"unassimilated={sorted(self._valid - self._assimilated)} "
             f"phantom={sorted(self._assimilated - self._valid)}",
         )
-        # Credit: exactly the validated results earned, each once.
+        # Credit: every validated result is either granted once or denied
+        # by its quorum verdict; replicas of logical units the quorum never
+        # decided (still pending at shutdown, or permanently disagreeing
+        # without a collusion guard) are excused as unpaid.
         self._check(
-            set(self._granted) == self._valid,
+            set(self._granted) <= self._valid,
             "credit/validation mismatch: "
-            f"unpaid={sorted(self._valid - set(self._granted))} "
             f"overpaid={sorted(set(self._granted) - self._valid)}",
+        )
+        self._check(
+            not (set(self._granted) & self._quorum_denied),
+            "workunits both granted and quorum-denied: "
+            f"{sorted(set(self._granted) & self._quorum_denied)}",
+        )
+        unpaid = self._valid - set(self._granted) - self._quorum_denied
+        undecided = {
+            wu
+            for wu in unpaid
+            if logical_id(wu) != wu and logical_id(wu) not in self._decided_logicals
+        }
+        self._check(
+            unpaid == undecided,
+            "credit/validation mismatch: "
+            f"unpaid={sorted(unpaid - undecided)}",
         )
         # Pool merges are a subset of assimilations (equal without
         # replication; with a quorum only the canonical replica merges).
@@ -301,6 +351,10 @@ class InvariantAuditor:
                 ("ps_recoveries", "ps.recover"),
                 ("kv_outage_blocks", "kv.outage"),
                 ("kv_degraded_ops", "kv.degraded"),
+                ("adv_tampered_uploads", "adv.tamper"),
+                ("adv_inflated_claims", "adv.claim_inflate"),
+                ("hosts_quarantined", "credit.quarantine"),
+                ("quorums_failed", "quorum.failed"),
             ):
                 if counter in counters:
                     self._check(

@@ -50,6 +50,10 @@ class MetricsCollector:
             "epoch.end": self._on_epoch_end,
             "params.publish": self._on_publish,
             "credit.grant": self._on_credit_grant,
+            "adv.tamper": self._count("adv.tampered_uploads"),
+            "adv.claim_inflate": self._count("adv.claim_inflates"),
+            "credit.quarantine": self._count("credit.quarantines"),
+            "quorum.failed": self._count("quorum.failures"),
         }
 
     # -- Trace observer protocol ---------------------------------------

@@ -747,7 +747,7 @@ class _Builder:
             parent=lineage.root,
         )
 
-    def _on_server_invalid_result(self, rec: TraceRecord, lineage: Lineage | None) -> None:
+    def _on_server_result_invalid(self, rec: TraceRecord, lineage: Lineage | None) -> None:
         if lineage is None:
             return
         self._close_attempt(lineage, None, rec.time, "invalid")
@@ -760,6 +760,7 @@ class _Builder:
             parent=lineage.root,
             ok=False,
             reason=rec.get("reason"),
+            code=rec.get("code"),
         )
         lineage.ready_since = rec.time  # type: ignore[attr-defined]
 
@@ -1011,6 +1012,13 @@ class _Builder:
     _on_sched_sleep_hint = _skip
     _on_sched_stale_heartbeat = _skip
     _on_plane_cutover = _skip
+    # Byzantine fabric: per-upload tampering and the defense verdicts ride
+    # on the attempt/quorum spans that already exist.
+    _on_adv_tamper = _skip
+    _on_adv_claim_inflate = _skip
+    _on_adv_sybil_joined = _skip
+    _on_credit_quarantine = _skip
+    _on_quorum_failed = _skip
 
 
 # ---------------------------------------------------------------------------

@@ -1,5 +1,13 @@
 """Discrete-event simulation substrate: clock, resources, network, preemption."""
 
+from .adversary import (
+    ATTACK_KINDS,
+    AdversaryBehavior,
+    AdversaryFabric,
+    AdversaryPlan,
+    SybilFleet,
+    TamperedUpdate,
+)
 from .chaos import (
     ChaosPlan,
     PartitionSchedule,
@@ -28,6 +36,12 @@ from .rng import RngRegistry, stable_name_hash
 from .tracing import Trace, TraceRecord
 
 __all__ = [
+    "ATTACK_KINDS",
+    "AdversaryBehavior",
+    "AdversaryFabric",
+    "AdversaryPlan",
+    "SybilFleet",
+    "TamperedUpdate",
     "ChaosPlan",
     "TransferFaultPlan",
     "PartitionWindow",

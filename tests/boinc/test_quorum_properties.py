@@ -1,0 +1,147 @@
+"""Hypothesis property suite for :class:`QuorumAssimilator` edge cases.
+
+Randomized replica arrival orders and agreement structures pin down the
+corner semantics the example-based tests cannot enumerate:
+
+* tie-breaking between disjoint agreement cliques is deterministic in
+  arrival order (same sequence -> same canonical result);
+* late replicas of an already-canonical unit are always discarded, with
+  the ``on_late`` agreement flag computed against the canonical payload;
+* units whose quorum is never reached assimilate nothing (default mode
+  waits forever; collusion-aware mode fails terminally once every
+  expected replica has arrived).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boinc import CallbackAssimilator, Workunit
+from repro.boinc.replication import QuorumAssimilator, QuorumConfig, replica_id
+from repro.simulation import Simulator, Trace
+
+# Each replica's payload is np.full(4, group): same group <=> agreement.
+GROUPS = st.lists(st.integers(0, 3), min_size=1, max_size=6)
+
+
+def make_replica(k: int, host: str) -> Workunit:
+    wu = Workunit(
+        wu_id=replica_id("u", k),
+        job_id="job",
+        epoch=0,
+        shard_index=0,
+        input_files=("m", "p", "s0"),
+        work_units=1.0,
+        timeout_s=100.0,
+    )
+    wu.mark_sent(host, 0.0)
+    wu.mark_result_received(0.0)
+    return wu
+
+
+def run_quorum(groups: list[int], min_quorum: int, collusion: bool = False):
+    """Feed one replica per group entry; return (quorum, assimilated ids,
+    on_done count, late events)."""
+    sink: list[str] = []
+    done = [0]
+    late: list[tuple[str, bool]] = []
+    config = QuorumConfig(
+        replicas=len(groups),
+        min_quorum=min(min_quorum, len(groups)),
+        collusion_aware=collusion,
+    )
+    quorum = QuorumAssimilator(
+        CallbackAssimilator(lambda wu, p: sink.append(wu.wu_id)),
+        config,
+        trace=Trace(),
+        sim=Simulator(),
+    )
+    quorum.on_late = lambda key, wu, agrees: late.append((wu.wu_id, agrees))
+    for k, group in enumerate(groups):
+        quorum.assimilate(
+            make_replica(k, f"h{k}"),
+            np.full(4, float(group)),
+            lambda: done.__setitem__(0, done[0] + 1),
+        )
+    return quorum, sink, done[0], late
+
+
+def largest_group_size(groups: list[int]) -> int:
+    return max(groups.count(g) for g in set(groups))
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4))
+def test_at_most_one_canonical_and_all_done(groups, min_quorum):
+    quorum, sink, done, _ = run_quorum(groups, min_quorum)
+    assert len(sink) <= 1
+    assert done == len(groups)  # every replica's completion ran exactly once
+    assert quorum.quorums_reached == len(sink)
+    assert quorum.decided_units() == len(sink)
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4))
+def test_decides_iff_some_clique_reaches_quorum(groups, min_quorum):
+    quorum, sink, _, _ = run_quorum(groups, min_quorum)
+    expected = largest_group_size(groups) >= min(min_quorum, len(groups))
+    assert bool(sink) == expected
+    if not expected:
+        # Quorum never reached: the unit hangs pending, nothing merged.
+        assert quorum.pending_units() == 1
+        assert quorum.quorums_reached == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4))
+def test_tie_breaking_is_arrival_deterministic(groups, min_quorum):
+    """Disjoint same-size cliques: the winner is a pure function of the
+    arrival sequence — replaying it reproduces the same canonical."""
+    _, first, _, _ = run_quorum(groups, min_quorum)
+    _, second, _, _ = run_quorum(groups, min_quorum)
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4), extra_group=st.integers(0, 3))
+def test_late_replicas_always_discarded(groups, min_quorum, extra_group):
+    quorum, sink, _, late = run_quorum(groups, min_quorum)
+    if not sink:
+        return  # never decided; nothing can be late
+    canonical_group = groups[int(sink[0].rsplit("#r", 1)[1])]
+    before = quorum.discarded_extras
+    quorum.assimilate(
+        make_replica(len(groups), "straggler"),
+        np.full(4, float(extra_group)),
+        lambda: None,
+    )
+    assert quorum.discarded_extras == before + 1
+    assert len(sink) == 1  # no second assimilation
+    assert late[-1] == (replica_id("u", len(groups)), extra_group == canonical_group)
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4))
+def test_collusion_mode_always_terminates_at_full_arrival(groups, min_quorum):
+    """With every expected replica arrived, collusion-aware units are
+    terminal: canonical chosen or quorum failed — never hung."""
+    quorum, sink, done, _ = run_quorum(groups, min_quorum, collusion=True)
+    assert quorum.pending_units() == 0
+    assert quorum.quorums_reached + quorum.quorums_failed == 1
+    assert done == len(groups)
+    if quorum.quorums_failed:
+        assert sink == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=GROUPS, min_quorum=st.integers(1, 4))
+def test_collusion_canonical_comes_from_a_largest_clique(groups, min_quorum):
+    """With uniform reliability the weighted score reduces to clique size,
+    so the canonical replica must belong to a maximal agreement group."""
+    _, sink, _, _ = run_quorum(groups, min_quorum, collusion=True)
+    if not sink:
+        return
+    winner_group = groups[int(sink[0].rsplit("#r", 1)[1])]
+    assert groups.count(winner_group) == largest_group_size(groups)

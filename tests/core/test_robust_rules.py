@@ -1,0 +1,173 @@
+"""Robust aggregation rules: coordinate-wise median and CenteredClip.
+
+Unit-level contracts (windowing, Byzantine resistance, the PR-4 hot-path
+``apply``/``apply_into`` equivalence, checkpoint round-trips) plus the
+factory registration that exposes them to the CLI/sweep layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantAlpha, make_rule
+from repro.core.rules import CenteredClipRule, ClientUpdate, CoordMedianRule
+from repro.errors import ConfigurationError
+
+
+def upd(vec, client="c0"):
+    return ClientUpdate(client_id=client, params=np.asarray(vec, dtype=float))
+
+
+def feed(rule, vectors, server=None):
+    """Apply a sequence of client vectors; return the final server copy."""
+    server = np.zeros(len(vectors[0])) if server is None else server
+    for vec in vectors:
+        server = rule.apply(server, upd(vec), epoch=1)
+    return server
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            CoordMedianRule(ConstantAlpha(0.5), window=0)
+
+    def test_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            CenteredClipRule(ConstantAlpha(0.5), tau=0.0)
+
+    def test_bad_iters(self):
+        with pytest.raises(ConfigurationError):
+            CenteredClipRule(ConstantAlpha(0.5), iters=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["median", "coordmedian"])
+    def test_median_names(self, name):
+        assert isinstance(make_rule(name), CoordMedianRule)
+
+    @pytest.mark.parametrize("name", ["centeredclip", "cclip"])
+    def test_cclip_names(self, name):
+        assert isinstance(make_rule(name), CenteredClipRule)
+
+    def test_kwargs_flow(self):
+        rule = make_rule("centeredclip", tau=2.5, iters=5, window=7)
+        assert rule.tau == 2.5 and rule.iters == 5 and rule.window == 7
+
+    def test_both_fault_tolerant(self):
+        assert make_rule("median").fault_tolerant
+        assert make_rule("centeredclip").fault_tolerant
+        assert not make_rule("median").uses_gradient
+
+
+class TestCoordMedian:
+    def test_single_update_equals_vcasgd(self):
+        """With one vector in the window the median is that vector."""
+        rule = CoordMedianRule(ConstantAlpha(0.8), window=5)
+        server = np.full(4, 2.0)
+        out = rule.apply(server, upd([1.0, 1.0, 1.0, 1.0]), epoch=1)
+        np.testing.assert_allclose(out, 0.8 * server + 0.2 * np.ones(4))
+
+    def test_outlier_outvoted(self):
+        """A Byzantine vector inside an honest window never shows through."""
+        # server = 0 and alpha = 0.5, so out = 0.5 * median(window).
+        rule = CoordMedianRule(ConstantAlpha(0.5), window=3)
+        rule.apply(np.zeros(2), upd([1.0, 1.0]), epoch=1)
+        rule.apply(np.zeros(2), upd([1.0, 1.0]), epoch=1)
+        out = rule.apply(np.zeros(2), upd([1e9, -1e9]), epoch=1)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_window_slides(self):
+        rule = CoordMedianRule(ConstantAlpha(0.5), window=2)
+        rule.apply(np.zeros(1), upd([0.0]), epoch=1)
+        rule.apply(np.zeros(1), upd([2.0]), epoch=1)
+        out = rule.apply(np.zeros(1), upd([4.0]), epoch=1)
+        # Window now holds [2, 4]; the 0 fell out.  out = 0.5 * median = 1.5.
+        np.testing.assert_allclose(out, [1.5])
+
+    def test_apply_into_matches_apply(self):
+        a = CoordMedianRule(ConstantAlpha(0.7), window=3)
+        b = CoordMedianRule(ConstantAlpha(0.7), window=3)
+        rng = np.random.default_rng(0)
+        server = rng.normal(size=8)
+        for _ in range(5):
+            vec = rng.normal(size=8)
+            out = np.empty(8)
+            got_a = a.apply(server.copy(), upd(vec), epoch=2)
+            got_b = b.apply_into(server.copy(), upd(vec), epoch=2, out=out)
+            assert got_b is out
+            np.testing.assert_array_equal(got_a, got_b)
+            server = got_a
+
+    def test_out_does_not_alias_inputs(self):
+        rule = CoordMedianRule(ConstantAlpha(0.5), window=2)
+        server, vec, out = np.ones(4), np.full(4, 3.0), np.empty(4)
+        rule.apply_into(server, upd(vec), epoch=1, out=out)
+        np.testing.assert_array_equal(server, np.ones(4))
+        np.testing.assert_array_equal(vec, np.full(4, 3.0))
+
+    def test_checkpoint_roundtrip(self):
+        rule = CoordMedianRule(ConstantAlpha(0.6), window=3)
+        feed(rule, [[1.0, 2.0], [3.0, 4.0]])
+        restored = CoordMedianRule(ConstantAlpha(0.6), window=3)
+        restored.load_state_dict(rule.state_dict())
+        vec = [5.0, 6.0]
+        np.testing.assert_array_equal(
+            rule.apply(np.zeros(2), upd(vec), epoch=1),
+            restored.apply(np.zeros(2), upd(vec), epoch=1),
+        )
+
+    def test_empty_state_roundtrip(self):
+        rule = CoordMedianRule(ConstantAlpha(0.6))
+        assert rule.state_dict() == {}
+        restored = CoordMedianRule(ConstantAlpha(0.6))
+        restored.load_state_dict({})
+        assert restored._buf is None
+
+
+class TestCenteredClip:
+    def test_honest_updates_pass_nearly_unclipped(self):
+        """Small deltas off the server copy survive with large tau."""
+        # server = 0 and alpha = 0.5, so out = 0.5 * v with v -> vec.
+        rule = CenteredClipRule(ConstantAlpha(0.5), tau=100.0, iters=5, window=5)
+        vec = np.full(4, 0.1)
+        out = rule.apply(np.zeros(4), upd(vec), epoch=1)
+        np.testing.assert_allclose(out, 0.5 * vec, atol=1e-3)
+
+    def test_byzantine_influence_bounded_by_tau(self):
+        """An arbitrarily large falsified vector moves v at most iters*tau."""
+        tau, iters, alpha = 0.5, 3, 0.5
+        rule = CenteredClipRule(ConstantAlpha(alpha), tau=tau, iters=iters, window=5)
+        server = np.zeros(4)
+        out = rule.apply(server, upd(np.full(4, 1e12)), epoch=1)
+        # ||v|| <= iters * tau, and out = (1 - alpha) * v off a zero server.
+        assert float(np.linalg.norm(out)) <= (1 - alpha) * tau * iters + 1e-9
+
+    def test_apply_into_matches_apply(self):
+        a = CenteredClipRule(ConstantAlpha(0.7), tau=1.0, window=3)
+        b = CenteredClipRule(ConstantAlpha(0.7), tau=1.0, window=3)
+        rng = np.random.default_rng(1)
+        server = rng.normal(size=8)
+        for _ in range(5):
+            vec = rng.normal(size=8)
+            out = np.empty(8)
+            got_a = a.apply(server.copy(), upd(vec), epoch=3)
+            got_b = b.apply_into(server.copy(), upd(vec), epoch=3, out=out)
+            assert got_b is out
+            np.testing.assert_array_equal(got_a, got_b)
+            server = got_a
+
+    def test_checkpoint_roundtrip(self):
+        rule = CenteredClipRule(ConstantAlpha(0.6), tau=2.0, window=4)
+        feed(rule, [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        restored = CenteredClipRule(ConstantAlpha(0.6), tau=2.0, window=4)
+        restored.load_state_dict(rule.state_dict())
+        vec = [2.0, 2.0]
+        np.testing.assert_array_equal(
+            rule.apply(np.ones(2), upd(vec), epoch=1),
+            restored.apply(np.ones(2), upd(vec), epoch=1),
+        )
+
+    def test_merge_weight_reports_alpha(self):
+        assert CenteredClipRule(ConstantAlpha(0.9)).merge_weight(1) == 0.9
+        assert CoordMedianRule(ConstantAlpha(0.9)).merge_weight(1) == 0.9

@@ -143,7 +143,7 @@ class TestFailureFates:
         records = [
             rec(0.0, "sched.created", wu=wu, epoch=0, shard=0),
             rec(0.0, "sched.assign", wu=wu, client="c0", attempt=0),
-            rec(50.0, "server.invalid_result", wu=wu, reason="nan_guard"),
+            rec(50.0, "server.result_invalid", wu=wu, reason="nan_guard", code="non_finite"),
             rec(60.0, "sched.assign", wu=wu, client="c1", attempt=1),
             rec(100.0, "server.result_valid", wu=wu, host="c1"),
             rec(110.0, "ps.assimilated", wu=wu, epoch=0, rule="r", accuracy=0.3,

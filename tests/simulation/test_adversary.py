@@ -1,0 +1,186 @@
+"""Adversary fabric unit tests: plan validation and tampering semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import Trace
+from repro.simulation.adversary import (
+    ATTACK_KINDS,
+    AdversaryBehavior,
+    AdversaryFabric,
+    AdversaryPlan,
+    SybilFleet,
+)
+from repro.simulation.rng import RngRegistry
+
+
+def fabric(plan: AdversaryPlan, seed: int = 5) -> AdversaryFabric:
+    return AdversaryFabric(plan, RngRegistry(seed), Trace())
+
+
+def tamper(fab: AdversaryFabric, client: str, *, logical: str = "u0", seed_vecs=7):
+    rng = np.random.default_rng(seed_vecs)
+    base = rng.normal(size=16)
+    honest = base + 0.01 * rng.normal(size=16)
+    gradient = rng.normal(size=16)
+    return (
+        fab.tamper(
+            client_id=client,
+            wu_id=f"{logical}#r0",
+            logical_id=logical,
+            base_params=base,
+            honest_params=honest,
+            honest_gradient=gradient,
+            honest_credit=10.0,
+            now=0.0,
+        ),
+        base,
+        honest,
+        gradient,
+    )
+
+
+class TestPlanValidation:
+    def test_empty_plan_inactive(self):
+        assert not AdversaryPlan().active
+
+    def test_any_behavior_activates(self):
+        plan = AdversaryPlan(behaviors=(AdversaryBehavior(clients=("c0",)),))
+        assert plan.active
+
+    def test_unknown_attack(self):
+        with pytest.raises(ConfigurationError):
+            AdversaryBehavior(clients=("c0",), attack="meltdown")
+
+    def test_no_clients(self):
+        with pytest.raises(ConfigurationError):
+            AdversaryBehavior(clients=())
+
+    def test_claim_factor_below_one(self):
+        with pytest.raises(ConfigurationError):
+            AdversaryBehavior(clients=("c0",), claim_factor=0.5)
+
+    def test_client_in_two_behaviors(self):
+        with pytest.raises(ConfigurationError):
+            AdversaryPlan(
+                behaviors=(
+                    AdversaryBehavior(clients=("c0",)),
+                    AdversaryBehavior(clients=("c0",), attack="collude"),
+                )
+            )
+
+    def test_sybil_validation(self):
+        with pytest.raises(ConfigurationError):
+            SybilFleet(identity="", count=1)
+        with pytest.raises(ConfigurationError):
+            SybilFleet(identity="x", count=0)
+
+
+class TestTampering:
+    def test_honest_client_untouched(self):
+        fab = fabric(AdversaryPlan(behaviors=(AdversaryBehavior(clients=("bad",)),)))
+        out, _, honest, gradient = tamper(fab, "good")
+        assert out.params is honest
+        assert out.gradient is gradient
+        assert out.claimed_credit is None
+        assert not out.tampered
+        assert fab.tampered_uploads == 0
+
+    @pytest.mark.parametrize(
+        "attack", [a for a in ATTACK_KINDS if a != "claim_inflate"]
+    )
+    def test_tampering_attacks_change_params(self, attack):
+        plan = AdversaryPlan(
+            behaviors=(
+                AdversaryBehavior(clients=("bad",), attack=attack, magnitude=2.0),
+            )
+        )
+        fab = fabric(plan)
+        out, _, honest, _ = tamper(fab, "bad")
+        assert out.tampered
+        assert not np.allclose(out.params, honest)
+        assert out.gradient is not None  # gradient rules must not crash
+        assert fab.tampered_uploads == 1
+
+    def test_claim_inflate_keeps_computation_honest(self):
+        plan = AdversaryPlan(
+            behaviors=(
+                AdversaryBehavior(
+                    clients=("bad",), attack="claim_inflate", claim_factor=50.0
+                ),
+            )
+        )
+        fab = fabric(plan)
+        out, _, honest, gradient = tamper(fab, "bad")
+        assert out.params is honest
+        assert out.gradient is gradient
+        assert out.claimed_credit == 500.0
+        assert not out.tampered  # computation itself is honest
+        assert fab.inflated_claims == 1
+
+    def test_signflip_reverses_delta(self):
+        plan = AdversaryPlan(
+            behaviors=(
+                AdversaryBehavior(
+                    clients=("bad",), attack="falsify_signflip", magnitude=1.0
+                ),
+            )
+        )
+        out, base, honest, _ = tamper(fabric(plan), "bad")
+        np.testing.assert_allclose(out.params, base - (honest - base))
+
+    def test_poison_drift_target_is_fixed_per_identity(self):
+        plan = AdversaryPlan(
+            behaviors=(AdversaryBehavior(clients=("bad",), attack="poison_drift"),)
+        )
+        fab = fabric(plan)
+        first, base, honest, _ = tamper(fab, "bad", logical="u0")
+        second, _, _, _ = tamper(fab, "bad", logical="u1")
+        target = fab._drift_targets["bad"]
+        step = 0.25
+        np.testing.assert_allclose(first.params, honest + step * (target - honest))
+        np.testing.assert_allclose(second.params, honest + step * (target - honest))
+
+
+class TestCollusion:
+    def plan(self):
+        return AdversaryPlan(
+            behaviors=(
+                AdversaryBehavior(
+                    clients=("bad-a", "bad-b"), attack="collude",
+                    collusion_group="cartel",
+                ),
+            )
+        )
+
+    def test_cartel_members_bit_identical_per_unit(self):
+        fab = fabric(self.plan())
+        a, _, _, _ = tamper(fab, "bad-a", logical="u0")
+        b, _, _, _ = tamper(fab, "bad-b", logical="u0")
+        assert np.array_equal(a.params, b.params)
+        assert np.array_equal(a.gradient, b.gradient)
+
+    def test_different_units_differ(self):
+        fab = fabric(self.plan())
+        a, _, _, _ = tamper(fab, "bad-a", logical="u0")
+        b, _, _, _ = tamper(fab, "bad-a", logical="u1")
+        assert not np.array_equal(a.params, b.params)
+
+    def test_same_seed_reproduces(self):
+        a, _, _, _ = tamper(fabric(self.plan(), seed=3), "bad-a")
+        b, _, _, _ = tamper(fabric(self.plan(), seed=3), "bad-a")
+        assert np.array_equal(a.params, b.params)
+
+
+class TestSybils:
+    def test_register_binds_fleet_behavior(self):
+        fleet = SybilFleet(identity="ring", count=2, attack="falsify_scale", magnitude=3.0)
+        fab = fabric(AdversaryPlan(sybils=(fleet,)))
+        fab.register_sybil(fleet, "sybil-ring-000")
+        assert fab.compromised("sybil-ring-000")
+        assert fab.attack_for("sybil-ring-000") == "falsify_scale"
+        out, _, honest, _ = tamper(fab, "sybil-ring-000")
+        np.testing.assert_allclose(out.params, honest * 3.0)
