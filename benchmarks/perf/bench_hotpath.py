@@ -16,11 +16,21 @@ optimize, on a paper-sized workload (~5M scalars, the Fig. 2 model scale):
   on a single-CPU box the parallel path can only demonstrate equality,
   not speedup).
 
+``--multicore`` switches to the execution-plane benchmark instead
+(schema ``repro.bench.multicore.v1``): one homogeneous-fleet run timed
+serial, with cohort fusion, with the shared-plane process pool at each
+``--jobs`` count, and with both — plus the ``run_configs`` sweep sweep.
+``--gate`` then enforces the **cores-aware** scaling floor: every
+measured speedup must reach ``0.8 × min(jobs, cpu_count)``.  On a
+single-CPU box that floor is 0.8× (the pool may not collapse under IPC
+overhead); real scaling is only demanded where real cores exist.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_hotpath.py \
         [--quick] [--out FILE] [--before FILE] \
-        [--baseline FILE] [--max-regression 2.0]
+        [--baseline FILE] [--max-regression 2.0] \
+        [--multicore] [--jobs 2,4] [--gate]
 
 ``--before`` merges a previously measured timing file (same keys) into
 the report and computes speedups.  ``--baseline`` compares this run
@@ -39,6 +49,7 @@ import time
 import numpy as np
 
 SCHEMA = "repro.bench.hotpath.v1"
+MULTICORE_SCHEMA = "repro.bench.multicore.v1"
 
 # Timing keys eligible for the regression gate (per-epoch for the
 # end-to-end run so quick and full reports stay comparable).
@@ -281,6 +292,122 @@ def bench_sweep_scaling(out: dict, job_counts: tuple[int, ...]) -> None:
     out["sweep_points"] = len(configs)
 
 
+# ---------------------------------------------------------------------------
+# Multi-core execution plane (DESIGN.md §8.5)
+# ---------------------------------------------------------------------------
+
+def _multicore_config(**overrides):
+    """A homogeneous-fleet run heavy enough to amortize pool IPC.
+
+    48 client steps (24 shards × 2 epochs) on one instance type, so every
+    step is cohort-fusable and the pool ships chunky work items.
+    """
+    from repro.core import ConstantAlpha, LocalTrainingConfig, TrainingJobConfig
+    from repro.data import SyntheticImageConfig
+    from repro.nn.models import ModelSpec
+    from repro.simulation.resources import TABLE1_CLIENTS
+
+    defaults = dict(
+        num_param_servers=1,
+        num_clients=8,
+        max_concurrent_subtasks=2,
+        model=ModelSpec(
+            "mlp", {"in_features": 48, "hidden": [128, 64], "num_classes": 4}
+        ),
+        data=SyntheticImageConfig(image_size=4, num_classes=4, noise_std=1.5),
+        num_train=1920,
+        num_val=40,
+        num_test=40,
+        num_shards=24,
+        max_epochs=2,
+        local_training=LocalTrainingConfig(local_epochs=8, learning_rate=0.01),
+        alpha_schedule=ConstantAlpha(0.8),
+        seed=77,
+        client_specs=(TABLE1_CLIENTS[0],),
+    )
+    defaults.update(overrides)
+    return TrainingJobConfig(**defaults)
+
+
+def _time_run(overrides: dict, repeats: int) -> tuple[float, int]:
+    """Best wall time of a fresh run + its client-step count."""
+    from repro.core import DistributedRunner
+
+    best = None
+    steps = 0
+    for _ in range(repeats):
+        runner = DistributedRunner(_multicore_config(**overrides))
+        t0 = time.perf_counter()
+        result = runner.run()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+        steps = result.counters["assimilations"]
+    return best, steps
+
+
+def run_multicore_benchmarks(job_counts: tuple[int, ...], quick: bool) -> dict:
+    """Single-run step throughput across execution-plane modes + sweep."""
+    repeats = 2 if quick else 3
+    out: dict = {
+        "schema": MULTICORE_SCHEMA,
+        "quick": quick,
+        "cpu_count": os.cpu_count() or 1,
+        "job_counts": list(job_counts),
+    }
+    serial_s, steps = _time_run({}, repeats)
+    out["steps_per_run"] = steps
+    modes: dict[str, dict] = {
+        "serial": {"wall_s": serial_s, "speedup": 1.0},
+    }
+    cohort_s, _ = _time_run({"cohort_size": 8}, repeats)
+    modes["cohort8"] = {"wall_s": cohort_s, "speedup": serial_s / cohort_s}
+    for jobs in job_counts:
+        pool_s, _ = _time_run({"step_jobs": jobs}, repeats)
+        modes[f"jobs{jobs}"] = {"wall_s": pool_s, "speedup": serial_s / pool_s}
+        both_s, _ = _time_run({"cohort_size": 8, "step_jobs": jobs}, repeats)
+        modes[f"cohort8_jobs{jobs}"] = {
+            "wall_s": both_s,
+            "speedup": serial_s / both_s,
+        }
+    for mode in modes.values():
+        mode["steps_per_s"] = steps / mode["wall_s"]
+        mode["wall_s"] = round(mode["wall_s"], 4)
+        mode["speedup"] = round(mode["speedup"], 3)
+        mode["steps_per_s"] = round(mode["steps_per_s"], 1)
+    out["single_run"] = modes
+    bench_sweep_scaling(out, (1, *job_counts))
+    return out
+
+
+def check_multicore_gate(report: dict, floor_factor: float = 0.8) -> list[str]:
+    """Cores-aware scaling floor: speedup >= floor_factor * min(jobs, cores).
+
+    ``jobs=J`` on a box with fewer than J cores cannot physically speed
+    up; the floor degrades to "don't collapse" (0.8×) there.  The cohort
+    modes are gated at the same per-jobs floor — vectorization headroom
+    only ever helps them.
+    """
+    cores = report.get("cpu_count") or 1
+    failures = []
+    modes = report.get("single_run", {})
+    for jobs in report.get("job_counts", []):
+        required = floor_factor * min(jobs, cores)
+        for name in (f"jobs{jobs}", f"cohort8_jobs{jobs}"):
+            speedup = modes.get(name, {}).get("speedup")
+            if speedup is not None and speedup < required:
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x < required "
+                    f"{required:.2f}x (0.8 x min({jobs} jobs, {cores} cores))"
+                )
+        sweep = report.get("sweep_scaling", {}).get(f"jobs{jobs}_speedup")
+        if sweep is not None and sweep < required:
+            failures.append(
+                f"sweep jobs={jobs}: speedup {sweep:.2f}x < required "
+                f"{required:.2f}x (0.8 x min({jobs} jobs, {cores} cores))"
+            )
+    return failures
+
+
 def run_benchmarks(quick: bool) -> dict:
     out: dict = {
         "schema": SCHEMA,
@@ -356,7 +483,39 @@ def main(argv: list[str] | None = None) -> int:
         help="committed report to regression-check against",
     )
     parser.add_argument("--max-regression", type=float, default=2.0, metavar="X")
+    parser.add_argument(
+        "--multicore", action="store_true",
+        help="benchmark the multi-core execution plane instead",
+    )
+    parser.add_argument(
+        "--jobs", default="2", metavar="N[,N...]",
+        help="worker counts for the --multicore sweep (default: 2)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="fail if --multicore scaling misses 0.8 x min(jobs, cores)",
+    )
     args = parser.parse_args(argv)
+
+    if args.multicore:
+        job_counts = tuple(int(j) for j in args.jobs.split(","))
+        report = run_multicore_benchmarks(job_counts, quick=args.quick)
+        print(json.dumps(report, indent=1))
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=1)
+                fh.write("\n")
+            print(f"report written to {args.out}", file=sys.stderr)
+        if args.gate:
+            failures = check_multicore_gate(report)
+            if failures:
+                print("MULTICORE SCALING GATE FAILED:", file=sys.stderr)
+                for line in failures:
+                    print(f"  {line}", file=sys.stderr)
+                return 1
+            print("multicore gate: scaling >= 0.8 x min(jobs, cores)",
+                  file=sys.stderr)
+        return 0
 
     report = run_benchmarks(quick=args.quick)
     payload: dict = report

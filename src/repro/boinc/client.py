@@ -253,6 +253,12 @@ class ClientDaemon:
             self.trace.emit(
                 self.sim.now, "client.train_start", wu=wu.wu_id, client=self.client_id
             )
+        if self.on_train_start is not None:
+            # Deferred-execution runs (core.steps) open their batching
+            # window here: the runner pre-draws the step's RNG and queues
+            # the compute so it can fuse with every other subtask training
+            # concurrently over this simulated interval.
+            self.on_train_start(wu, payloads)
         if self.scheduler.config.heartbeats_enabled:
             self._schedule_heartbeat(wu.wu_id)
 
@@ -297,7 +303,15 @@ class ClientDaemon:
                         client=self.client_id,
                         seconds=self.sim.now - wu.current_attempt.sent_at,
                     )
-                self._on_result_accepted(wu, result)
+                # Deferred-execution payloads (core.steps.DeferredUpdate)
+                # materialize here, at the last moment before any server
+                # component reads inside them.  Upload retries reuse the
+                # same payload object, so the lazy handle survives them.
+                payload = result
+                resolve = getattr(payload, "resolve_update", None)
+                if resolve is not None:
+                    payload = resolve()
+                self._on_result_accepted(wu, payload)
             self.poll_for_work()
 
         def on_error(error) -> None:
@@ -349,6 +363,11 @@ class ClientDaemon:
 
     # Server wiring: BoincServer overrides this to route into validation.
     _on_result_accepted: Callable[[Workunit, object], None] = lambda self, wu, r: None
+
+    # Optional hook fired when a subtask's compute begins (see
+    # _start_compute); the deferred-execution runner uses it to pre-submit
+    # the step to its dispatcher.  None keeps the legacy path untouched.
+    on_train_start: "Callable[[Workunit, dict[str, object]], None] | None" = None
 
     # -- abort / preemption ----------------------------------------------------
     def abort_workunit(self, wu_id: str) -> None:

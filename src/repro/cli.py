@@ -259,6 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="sharded work-generator/validator planes (1 = single plane)",
     )
+    run_p.add_argument(
+        "--cohort-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fuse up to N clients' training steps into one vectorized "
+        "cohort pass (bit-identical to serial; 1 = inline legacy path)",
+    )
+    run_p.add_argument(
+        "--step-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan one run's client steps out over N worker processes "
+        "reading parameters from a shared-memory plane (1 = in-process)",
+    )
     run_p.add_argument("--warm-start", type=int, default=0, metavar="PASSES")
     run_p.add_argument("--seed", type=int, default=1234)
     run_p.add_argument("--checkpoint-out", default=None, metavar="FILE")
@@ -538,6 +554,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warm_start_passes=args.warm_start,
         work_fetch=args.work_fetch,
         server_planes=args.server_planes,
+        cohort_size=args.cohort_size,
+        step_jobs=args.step_jobs,
         faults=_parse_faults(args),
         seed=args.seed,
     )
@@ -698,6 +716,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             [config for _, config in pairs],
             jobs=jobs,
             collect_telemetry=bool(args.metrics_out),
+            on_fallback=lambda fb: print(
+                f"  note: {fb.kind} — {fb.configs} config(s) cannot be "
+                f"shipped to workers ({fb.reason}); running serially"
+            ),
         )
         for (overrides, config), (result, telemetry) in zip(pairs, outcomes):
             sweep.points.append(

@@ -175,6 +175,17 @@ class TrainingJobConfig:
     # coordinated through the KV store.  1 keeps the single-plane path.
     server_planes: int = 1
 
+    # -- multi-core execution plane (DESIGN.md §8.5) ----------------------------
+    # Vectorized client cohorts: fuse up to N deferred client steps that
+    # share a base parameter version into one stacked-NumPy training pass
+    # (repro.nn.cohort), bit-identical to the serial per-client loop.
+    # 1 keeps the fully inline legacy execution path.
+    cohort_size: int = 1
+    # Process fan-out for one run's client steps: deferred step groups run
+    # on a fork pool of N workers reading published parameters from a
+    # shared-memory plane (no per-step state pickling).  1 stays in-process.
+    step_jobs: int = 1
+
     # -- dynamic parameter-server scaling (§III-D future design) ---------------
     # When True, num_param_servers is the *initial* worker count and the
     # pool grows/shrinks with queue pressure per `autoscale_policy`
@@ -231,6 +242,10 @@ class TrainingJobConfig:
             )
         if self.server_planes < 1:
             raise ConfigurationError("server_planes must be >= 1")
+        if self.cohort_size < 1:
+            raise ConfigurationError("cohort_size must be >= 1")
+        if self.step_jobs < 1:
+            raise ConfigurationError("step_jobs must be >= 1")
         if self.update_rule is not None and not isinstance(self.update_rule, UpdateRule):
             raise ConfigurationError(
                 f"update_rule must be an UpdateRule or None, "

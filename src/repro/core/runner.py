@@ -46,7 +46,7 @@ from ..nn.losses import cross_entropy
 from ..nn.metrics import evaluate_classifier
 from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
-from ..nn.serialization import GradientAccumulator, StateLayout
+from ..nn.serialization import StateLayout
 from ..nn.tensor import Tensor
 from ..obs.runtime import ObservabilityConfig, RunObservability
 from ..simulation.adversary import AdversaryFabric
@@ -62,6 +62,7 @@ from .job import TrainingJobConfig
 from .param_server import PARAM_KEY, ParameterServerPool
 from .results import EpochRecord, RunResult
 from .rules import ClientUpdate
+from .steps import DeferredUpdate, StepDispatcher, draw_batch_orders, run_local_step
 
 __all__ = ["DistributedRunner", "VersionedParams", "run_experiment"]
 
@@ -339,6 +340,31 @@ class DistributedRunner:
             )
         self._republish_params(initial_vec)
 
+        # ---- multi-core execution plane (DESIGN.md §8.5) ------------------------
+        # Built only when cohorts or step fan-out are requested: with the
+        # defaults (1/1) no dispatcher exists and every subtask takes the
+        # fully inline legacy path, byte-for-byte.
+        self._dispatcher: StepDispatcher | None = None
+        # Steps pre-submitted at compute start, keyed by (wu_id, client):
+        # popped when the executor runs at compute end, pruned at epoch
+        # boundaries for attempts that aborted mid-compute.
+        self._prepared: dict[tuple[str, str], object] = {}
+        if config.cohort_size > 1 or config.step_jobs > 1:
+            wg = self.work_generator
+            shards = (
+                wg.inner.shards
+                if isinstance(wg, ShardedWorkGenerator)
+                else wg.shards
+            )
+            self._dispatcher = StepDispatcher(
+                model_spec=config.model,
+                shards=shards,
+                local=config.local_training,
+                collect_gradient=self.rule.uses_gradient,
+                cohort_size=config.cohort_size,
+                jobs=config.step_jobs,
+            )
+
         # ---- adversary fabric (Byzantine clients) -------------------------------
         # Built before the fleet so behaviour assignments resolve against
         # the client ids about to be launched.  None (no plan / empty
@@ -465,6 +491,8 @@ class DistributedRunner:
             cache_capacity_bytes=cache_cap,
             trace=self.trace,
         )
+        if self._dispatcher is not None:
+            client.on_train_start = self._prepare_subtask
         self.server.attach_client(client)
         if self.config.faults.preemption_hourly_p > 0:
             lifetime = ExponentialLifetime(self.config.faults.preemption_hourly_p)
@@ -531,51 +559,112 @@ class DistributedRunner:
             self._client_arrays[client_id] = model.state_arrays()
         return model
 
-    def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[ClientUpdate, int]:
-        """Train on the shard starting from the downloaded server params.
+    def _deferrable(self, client_id: str) -> bool:
+        """Whether this client's step may run after submit time.
 
-        Returns a :class:`ClientUpdate` carrying the new parameter copy,
-        the base publish version it trained from and — only when the job's
-        rule consumes gradients — the accumulated local gradient.
+        Corrupt-designated clients scale their upload noise by the trained
+        vector, and compromised clients draw tamper RNG per call — both
+        must compute inline, in the serial schedule's RNG order.  Everyone
+        else's step is RNG-free once the batch orders are drawn.
+        """
+        if self._adversary is not None and self._adversary.compromised(client_id):
+            return False
+        faults = self.config.faults
+        if faults.corrupt_clients > 0 and client_id.startswith("client-"):
+            try:
+                index = int(client_id.rsplit("-", 1)[1])
+            except (IndexError, ValueError):  # pragma: no cover - ids are ours
+                return True
+            if index < faults.corrupt_clients:
+                return False
+        return True
+
+    def _draw_orders(self, wu: Workunit, client_id: str, n: int) -> list[np.ndarray]:
+        """Pre-draw the subtask's batch permutations.
+
+        Both branches key the generator by the *attempt*, never by draw
+        order, so the permutations are independent of when in simulated
+        time the draw happens.  That invariance is what lets the deferred
+        execution plane (DESIGN.md §8.5) draw at compute start while the
+        inline path draws at compute end, with bit-identical results —
+        including runs with preemptions, timeouts and reissues.
         """
         cfg = self.config.local_training
-        client_id = wu.current_attempt.client_id
-        model = self._client_model(client_id)
-        published: VersionedParams = payloads[wu.input_files[1]]  # the parameter file
-        param_vec = published.params
-        self._wu_base_version[wu.wu_id] = published.version
-        shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
-        self._layout.unpack_into(param_vec, self._client_arrays[client_id])
-        model.train()
-        if cfg.optimizer == "adam":
-            opt = Adam(model.parameters(), lr=cfg.learning_rate)
-        else:
-            opt = SGD(model.parameters(), lr=cfg.learning_rate)
         if self.config.replicas > 1:
             # Replicas must be bit-reproducible across hosts: derive the
             # batch order from the logical workunit, not from the client.
             batch_rng = self.rngs.fresh(f"batches:{logical_id(wu.wu_id)}")
         else:
-            batch_rng = self.rngs.stream(f"batches:{client_id}")
-        loader = BatchLoader(shard, cfg.batch_size, rng=batch_rng)
-        accumulator = (
-            GradientAccumulator(self._template_state)
-            if self.rule.uses_gradient
-            else None
+            batch_rng = self.rngs.fresh(f"batches:{wu.wu_id}:{client_id}")
+        return draw_batch_orders(batch_rng, n, cfg.local_epochs)
+
+    def _prepare_subtask(self, wu: Workunit, payloads: dict) -> None:
+        """Compute-start hook (deferred mode only): open the batching window.
+
+        Draws the step's batch orders and queues the RNG-free compute with
+        the dispatcher, so every subtask training concurrently over this
+        simulated interval can fuse into one cohort.  Batch orders are
+        keyed per attempt (see :meth:`_draw_orders`), so drawing here —
+        rather than at compute end like the inline path — cannot shift
+        any other attempt's permutations; the run stays bit-identical to
+        serial even across preemptions and timeouts (DESIGN.md §8.5).
+        """
+        client_id = wu.current_attempt.client_id
+        if not self._deferrable(client_id):
+            return
+        published: VersionedParams = payloads[wu.input_files[1]]
+        shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
+        orders = self._draw_orders(wu, client_id, len(shard))
+        task = self._dispatcher.submit(published.params, wu.shard_index, orders)
+        self._prepared[(wu.wu_id, client_id)] = task
+
+    def _execute_subtask(self, wu: Workunit, payloads: dict) -> tuple[object, int]:
+        """Train on the shard starting from the downloaded server params.
+
+        Returns a :class:`ClientUpdate` carrying the new parameter copy,
+        the base publish version it trained from and — only when the job's
+        rule consumes gradients — the accumulated local gradient.  With
+        the multi-core execution plane enabled the return value is a
+        :class:`DeferredUpdate` instead, wrapping the step pre-submitted
+        at compute start; the compute materializes when the upload is
+        accepted.
+        """
+        cfg = self.config.local_training
+        client_id = wu.current_attempt.client_id
+        published: VersionedParams = payloads[wu.input_files[1]]  # the parameter file
+        param_vec = published.params
+        self._wu_base_version[wu.wu_id] = published.version
+        shard: Dataset = payloads[self.work_generator.shard_file_name(wu.shard_index)]
+        if self._dispatcher is not None and self._deferrable(client_id):
+            task = self._prepared.pop((wu.wu_id, client_id), None)
+            if task is None:  # pragma: no cover - hook installed with dispatcher
+                task = self._dispatcher.submit(
+                    param_vec,
+                    wu.shard_index,
+                    self._draw_orders(wu, client_id, len(shard)),
+                )
+            deferred = DeferredUpdate(
+                dispatcher=self._dispatcher,
+                task=task,
+                client_id=client_id,
+                base_version=published.version,
+            )
+            return deferred, self._param_wire_bytes
+        orders = self._draw_orders(wu, client_id, len(shard))
+        model = self._client_model(client_id)
+        new_vec, gradient = run_local_step(
+            model,
+            self._client_arrays[client_id],
+            self._layout,
+            param_vec,
+            shard,
+            orders,
+            batch_size=cfg.batch_size,
+            optimizer=cfg.optimizer,
+            learning_rate=cfg.learning_rate,
+            collect_gradient=self.rule.uses_gradient,
         )
-        for _ in range(cfg.local_epochs):
-            for xb, yb in loader:
-                model.zero_grad()
-                loss = cross_entropy(model(Tensor(xb)), yb)
-                loss.backward()
-                if accumulator is not None:
-                    accumulator.add(
-                        {name: p.grad for name, p in model.named_parameters()}
-                    )
-                opt.step()
-        new_vec = self._layout.pack(self._client_arrays[client_id])
         new_vec = self._maybe_corrupt(client_id, new_vec)
-        gradient = None if accumulator is None else accumulator.total
         claimed: float | None = None
         if self._adversary is not None and self._adversary.compromised(client_id):
             tampered = self._adversary.tamper(
@@ -852,6 +941,13 @@ class DistributedRunner:
         # whole run.
         for wu in self._epoch_workunits:
             self._wu_base_version.pop(wu.wu_id, None)
+        if self._prepared:
+            # Pre-submitted steps whose attempts aborted mid-compute never
+            # reached the executor; drop them so the dispatcher stops
+            # holding their base parameter copies.
+            epoch_ids = {wu.wu_id for wu in self._epoch_workunits}
+            for key in [k for k in self._prepared if k[0] in epoch_ids]:
+                self._dispatcher.discard(self._prepared.pop(key))
         record = EpochRecord(
             epoch=epoch + 1,
             end_time_s=self.sim.now + self._time_offset,
@@ -872,6 +968,13 @@ class DistributedRunner:
 
     def run(self) -> RunResult:
         """Execute the full training job; returns the per-epoch results."""
+        try:
+            return self._run()
+        finally:
+            if self._dispatcher is not None:
+                self._dispatcher.shutdown()
+
+    def _run(self) -> RunResult:
         config = self.config
         self.obs.timer("run.total").start()
         self._publish_epoch()

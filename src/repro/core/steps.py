@@ -1,0 +1,554 @@
+"""Client local-training steps as schedulable units of compute.
+
+The runner historically trained inline inside the client's executor
+callback: one model, one shard, one optimizer loop per call.  This module
+lifts that loop into free functions and a :class:`StepDispatcher` so the
+same numerics can run three ways — inline (the legacy path), fused across
+a cohort of clients (:mod:`repro.nn.cohort` stacked kernels), or fanned
+out across worker processes reading published parameters from the
+shared-memory plane (:class:`repro.core.parallel.SharedParameterPlane`).
+
+Determinism is the load-bearing wall.  Simulated *time* never depends on
+where compute runs (durations come from work units, not wall clock), and
+the *numbers* are kept bit-identical by two rules:
+
+* every RNG draw happens at submit time, in the serial schedule's order —
+  :func:`draw_batch_orders` pre-draws the per-epoch batch permutations
+  from the same stream the legacy ``BatchLoader`` consumed, so deferring
+  the (RNG-free) compute moves no draw;
+* deferred execution is *value-lazy, schedule-eager*: the dispatcher
+  batches submitted steps and computes them at first resolve, which the
+  client triggers when its upload is accepted — before any consumer reads
+  the payload.
+
+Clients whose upload is perturbed by state that depends on the trained
+result (corrupt-designated clients, adversary-compromised clients) are
+never deferred; the runner keeps them on the inline path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..errors import ConfigurationError, SimulationError
+from ..nn.cohort import CohortTrainer, CohortUnsupported
+from ..nn.layers import Module
+from ..nn.losses import cross_entropy
+from ..nn.models import build_model
+from ..nn.optim import SGD, Adam
+from ..nn.serialization import GradientAccumulator, StateLayout
+from ..nn.tensor import Tensor
+from .parallel import AttachedPlane, SharedParameterPlane, _pool_context
+from .rules import ClientUpdate
+
+if TYPE_CHECKING:
+    from .job import LocalTrainingConfig
+
+__all__ = [
+    "draw_batch_orders",
+    "run_local_step",
+    "StepTask",
+    "DeferredUpdate",
+    "StepDispatcher",
+]
+
+
+def draw_batch_orders(
+    rng: np.random.Generator, n: int, epochs: int
+) -> list[np.ndarray]:
+    """Pre-draw the per-epoch batch permutations for one subtask.
+
+    One ``rng.permutation(n)`` per local epoch — the exact draws, in the
+    exact order, that ``BatchLoader.__iter__`` makes lazily on the serial
+    path.  Nothing else consumes the per-subtask batch stream, so drawing
+    upfront is stream-for-stream identical.
+    """
+    return [rng.permutation(n) for _ in range(epochs)]
+
+
+def run_local_step(
+    model: Module,
+    state_arrays: dict[str, np.ndarray],
+    layout: StateLayout,
+    base_vec: np.ndarray,
+    shard: Dataset,
+    orders: Sequence[np.ndarray],
+    *,
+    batch_size: int,
+    optimizer: str,
+    learning_rate: float,
+    collect_gradient: bool,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """One client's full local-training subtask, RNG-free.
+
+    Loads ``base_vec`` into the model's live arrays, runs
+    ``len(orders)`` epochs of mini-batch training with the pre-drawn
+    batch orders (mirroring ``BatchLoader``'s ``order[start:start+bs]``
+    slicing, including the short final batch), and packs the trained
+    state back into a fresh flat vector.  Returns ``(new_vec, gradient)``
+    where ``gradient`` is the accumulated local gradient when
+    ``collect_gradient`` (rules like Downpour) and None otherwise.
+    """
+    layout.unpack_into(base_vec, state_arrays)
+    model.train()
+    if optimizer == "adam":
+        opt = Adam(model.parameters(), lr=learning_rate)
+    else:
+        opt = SGD(model.parameters(), lr=learning_rate)
+    accumulator = GradientAccumulator(state_arrays) if collect_gradient else None
+    n = len(shard)
+    for order in orders:
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            model.zero_grad()
+            loss = cross_entropy(model(Tensor(shard.x[idx])), shard.y[idx])
+            loss.backward()
+            if accumulator is not None:
+                accumulator.add(
+                    {name: p.grad for name, p in model.named_parameters()}
+                )
+            opt.step()
+    new_vec = layout.pack(state_arrays)
+    gradient = None if accumulator is None else accumulator.total
+    return new_vec, gradient
+
+
+class StepTask:
+    """One submitted-but-not-yet-computed client training step."""
+
+    __slots__ = ("base_vec", "shard_index", "orders", "result")
+
+    def __init__(
+        self,
+        base_vec: np.ndarray,
+        shard_index: int,
+        orders: list[np.ndarray],
+    ) -> None:
+        self.base_vec = base_vec
+        self.shard_index = shard_index
+        self.orders = orders
+        self.result: tuple[np.ndarray, np.ndarray | None] | None = None
+
+
+class DeferredUpdate:
+    """Lazy stand-in for a :class:`ClientUpdate` travelling as upload payload.
+
+    The client daemon duck-types on ``resolve_update`` right after the
+    scheduler accepts the upload — before validation or assimilation ever
+    look inside — and swaps in the real :class:`ClientUpdate`.  Upload
+    retries reuse the same payload object, so the handle survives them.
+    """
+
+    __slots__ = ("_dispatcher", "_task", "client_id", "base_version")
+
+    def __init__(
+        self,
+        dispatcher: "StepDispatcher",
+        task: StepTask,
+        client_id: str,
+        base_version: int,
+    ) -> None:
+        self._dispatcher = dispatcher
+        self._task = task
+        self.client_id = client_id
+        self.base_version = base_version
+
+    def resolve_update(self) -> ClientUpdate:
+        new_vec, gradient = self._dispatcher.resolve(self._task)
+        return ClientUpdate(
+            client_id=self.client_id,
+            params=new_vec,
+            gradient=gradient,
+            base_version=self.base_version,
+            claimed_credit=None,
+        )
+
+
+class _StepContext:
+    """Everything one process needs to execute grouped local steps.
+
+    Owns a template model (weights are always overwritten from the base
+    vector before use, so its init RNG is immaterial), the flat layout,
+    and a cache of :class:`CohortTrainer` instances keyed by group size.
+    Lives once in the dispatcher for in-process execution and once per
+    pool worker (built by :func:`_pool_init`).
+    """
+
+    def __init__(
+        self,
+        template: Module,
+        shards: Sequence[Dataset],
+        batch_size: int,
+        optimizer: str,
+        learning_rate: float,
+        collect_gradient: bool,
+    ) -> None:
+        self.template = template
+        self.shards = list(shards)
+        self.batch_size = batch_size
+        self.optimizer = optimizer
+        self.learning_rate = learning_rate
+        self.collect_gradient = collect_gradient
+        self.layout = StateLayout.for_state(template.state_dict())
+        self.state_arrays = template.state_arrays()
+        self._trainers: dict[int, CohortTrainer] = {}
+        # Architecture is fixed per job: one CohortUnsupported means every
+        # group of every size falls back to the serial member loop.
+        self.cohort_ok = True
+
+    def _trainer(self, group: int) -> CohortTrainer | None:
+        if not self.cohort_ok:
+            return None
+        trainer = self._trainers.get(group)
+        if trainer is None:
+            try:
+                trainer = CohortTrainer(self.template, group)
+            except CohortUnsupported:
+                self.cohort_ok = False
+                return None
+            self._trainers[group] = trainer
+        return trainer
+
+    def run_group(
+        self,
+        base_vec: np.ndarray,
+        shard_indexes: Sequence[int],
+        orders_list: Sequence[list[np.ndarray]],
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Execute a homogeneous group of steps sharing one base vector.
+
+        Groups of size > 1 run through the stacked cohort kernels when
+        the architecture supports them (bit-identical per member);
+        otherwise — and always for singleton groups — through the serial
+        per-member loop.
+        """
+        group = len(shard_indexes)
+        shards = [self.shards[i] for i in shard_indexes]
+        local_epochs = len(orders_list[0])
+        if group > 1:
+            trainer = self._trainer(group)
+            if trainer is not None:
+                base_vecs = np.broadcast_to(
+                    base_vec, (group, self.layout.total_size)
+                )
+                packed, totals = trainer.run(
+                    base_vecs,
+                    shards,
+                    list(orders_list),
+                    batch_size=self.batch_size,
+                    optimizer=self.optimizer,
+                    learning_rate=self.learning_rate,
+                    local_epochs=local_epochs,
+                    collect_gradient=self.collect_gradient,
+                )
+                return [
+                    (
+                        packed[g].copy(),
+                        None if totals is None else totals[g].copy(),
+                    )
+                    for g in range(group)
+                ]
+        return [
+            run_local_step(
+                self.template,
+                self.state_arrays,
+                self.layout,
+                base_vec,
+                shard,
+                orders,
+                batch_size=self.batch_size,
+                optimizer=self.optimizer,
+                learning_rate=self.learning_rate,
+                collect_gradient=self.collect_gradient,
+            )
+            for shard, orders in zip(shards, orders_list)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Pool worker plumbing (module level so it pickles under any start method)
+# ---------------------------------------------------------------------------
+
+_WORKER_CONTEXT: _StepContext | None = None
+_WORKER_PLANE: AttachedPlane | None = None
+
+
+def _pool_init(
+    plane_handle,
+    model_spec,
+    shards,
+    batch_size,
+    optimizer,
+    learning_rate,
+    collect_gradient,
+) -> None:
+    """Worker start-up: attach the parameter plane, build the step context."""
+    global _WORKER_CONTEXT, _WORKER_PLANE
+    _WORKER_PLANE = plane_handle.attach()
+    template = build_model(model_spec, np.random.default_rng(0))
+    _WORKER_CONTEXT = _StepContext(
+        template,
+        shards,
+        batch_size=batch_size,
+        optimizer=optimizer,
+        learning_rate=learning_rate,
+        collect_gradient=collect_gradient,
+    )
+
+
+def _pool_run_group(
+    slot: int,
+    shard_indexes: list[int],
+    orders_list: list[list[np.ndarray]],
+) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """Worker body: run one group against a read-only plane slot.
+
+    The task payload is a slot number plus batch orders — the full
+    parameter state arrives through the shared-memory mapping, never
+    through pickle.
+    """
+    assert _WORKER_CONTEXT is not None and _WORKER_PLANE is not None
+    return _WORKER_CONTEXT.run_group(
+        _WORKER_PLANE.view(slot), shard_indexes, orders_list
+    )
+
+
+class StepDispatcher:
+    """Batches deferred client steps into cohorts and process fan-out.
+
+    Submitted tasks accumulate until the first :meth:`resolve` (the
+    simulation's first accepted upload whose payload is still pending) and
+    are then flushed together: grouped by (base parameter version, shard
+    length), chunked to ``cohort_size``, and executed either in-process or
+    across a fork pool of ``jobs`` workers that read the base parameters
+    from a :class:`SharedParameterPlane`.
+
+    Everything here is wall-clock machinery; nothing touches simulated
+    time, counters, traces or RNG — which is what keeps every enabled
+    combination byte-identical to the serial run.
+    """
+
+    def __init__(
+        self,
+        model_spec,
+        shards: Sequence[Dataset],
+        local: "LocalTrainingConfig",
+        collect_gradient: bool,
+        cohort_size: int = 1,
+        jobs: int = 1,
+        plane_slots: int = 16,
+    ) -> None:
+        if cohort_size < 1:
+            raise ConfigurationError(f"cohort_size must be >= 1, got {cohort_size}")
+        if jobs < 1:
+            raise ConfigurationError(f"step_jobs must be >= 1, got {jobs}")
+        self.model_spec = model_spec
+        self.shards = list(shards)
+        self.local = local
+        self.collect_gradient = collect_gradient
+        self.cohort_size = cohort_size
+        self.jobs = jobs
+        self.plane_slots = plane_slots
+        self._pending: list[StepTask] = []
+        self._context: _StepContext | None = None
+        self._pool = None
+        self._plane: SharedParameterPlane | None = None
+        # Wall-clock-side stats, deliberately kept out of RunResult
+        # counters and the trace (both are digest material).
+        self.stats = {
+            "tasks": 0,
+            "flushes": 0,
+            "max_flush": 0,
+            "cohort_groups": 0,
+            "cohort_members": 0,
+            "singleton_members": 0,
+            "pool_groups": 0,
+        }
+
+    # -- submit / resolve ----------------------------------------------
+    def submit(
+        self,
+        base_vec: np.ndarray,
+        shard_index: int,
+        orders: list[np.ndarray],
+    ) -> StepTask:
+        """Queue one step; the task pins ``base_vec`` until computed."""
+        task = StepTask(base_vec, shard_index, orders)
+        self._pending.append(task)
+        self.stats["tasks"] += 1
+        return task
+
+    def resolve(self, task: StepTask) -> tuple[np.ndarray, np.ndarray | None]:
+        """Return the task's result, computing pending work if needed.
+
+        With process fan-out the whole pending batch flushes at once (the
+        pool eats the chunks concurrently); in-process only the chunk
+        containing ``task`` runs, so tasks whose uploads are still in
+        flight stay pending and keep gathering cohort mates.
+        """
+        if task.result is None:
+            if self.jobs > 1:
+                self._flush()
+            else:
+                self._flush_chunk_for(task)
+        if task.result is None:
+            raise SimulationError(
+                "step task resolved without a result; it was not pending "
+                "in this dispatcher"
+            )
+        return task.result
+
+    def discard(self, task: StepTask) -> None:
+        """Forget a still-pending task (its attempt aborted mid-compute)."""
+        self._pending = [t for t in self._pending if t is not task]
+
+    # -- execution ------------------------------------------------------
+    def _ensure_context(self) -> _StepContext:
+        if self._context is None:
+            template = build_model(self.model_spec, np.random.default_rng(0))
+            self._context = _StepContext(
+                template,
+                self.shards,
+                batch_size=self.local.batch_size,
+                optimizer=self.local.optimizer,
+                learning_rate=self.local.learning_rate,
+                collect_gradient=self.collect_gradient,
+            )
+        return self._context
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            if self._plane is None:
+                layout = self._ensure_context().layout
+                self._plane = SharedParameterPlane(
+                    slot_size=layout.total_size, slots=self.plane_slots
+                )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_pool_context(),
+                initializer=_pool_init,
+                initargs=(
+                    self._plane.handle(),
+                    self.model_spec,
+                    self.shards,
+                    self.local.batch_size,
+                    self.local.optimizer,
+                    self.local.learning_rate,
+                    self.collect_gradient,
+                ),
+            )
+        return self._pool
+
+    def _group_key(self, task: StepTask) -> tuple[int, int]:
+        # Cohort members must share the exact base vector and batch
+        # geometry.  The tasks themselves pin the base arrays, so id() is
+        # collision-free while a task is pending.
+        return (id(task.base_vec), len(self.shards[task.shard_index]))
+
+    def _flush_chunk_for(self, target: StepTask) -> None:
+        """Compute only the chunk containing ``target`` (in-process path)."""
+        key = self._group_key(target)
+        mates = [t for t in self._pending if self._group_key(t) == key]
+        index = mates.index(target)
+        start = (index // self.cohort_size) * self.cohort_size
+        chunk = mates[start : start + self.cohort_size]
+        self.stats["flushes"] += 1
+        self.stats["max_flush"] = max(self.stats["max_flush"], len(chunk))
+        self._run_chunks_inprocess([chunk])
+        done = set(map(id, chunk))
+        self._pending = [t for t in self._pending if id(t) not in done]
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.stats["flushes"] += 1
+        self.stats["max_flush"] = max(self.stats["max_flush"], len(pending))
+        groups: dict[tuple[int, int], list[StepTask]] = {}
+        for task in pending:
+            groups.setdefault(self._group_key(task), []).append(task)
+        chunks: list[list[StepTask]] = []
+        for tasks in groups.values():
+            for i in range(0, len(tasks), self.cohort_size):
+                chunks.append(tasks[i : i + self.cohort_size])
+        if self.jobs > 1 and len(chunks) > 1:
+            self._count_chunks(chunks)
+            self._run_chunks_pool(chunks)
+        else:
+            self._run_chunks_inprocess(chunks)
+
+    def _count_chunks(self, chunks: list[list[StepTask]]) -> None:
+        for chunk in chunks:
+            if len(chunk) > 1:
+                self.stats["cohort_groups"] += 1
+                self.stats["cohort_members"] += len(chunk)
+            else:
+                self.stats["singleton_members"] += 1
+
+    def _run_chunks_inprocess(self, chunks: list[list[StepTask]]) -> None:
+        self._count_chunks(chunks)
+        context = self._ensure_context()
+        for chunk in chunks:
+            results = context.run_group(
+                chunk[0].base_vec,
+                [t.shard_index for t in chunk],
+                [t.orders for t in chunk],
+            )
+            for task, result in zip(chunk, results):
+                task.result = result
+
+    def _run_chunks_pool(self, chunks: list[list[StepTask]]) -> None:
+        """Fan chunks out across the pool in plane-slot-bounded waves.
+
+        Each distinct base vector is written to one plane slot per wave;
+        a slot is never rewritten while a future of the current wave may
+        still read it (the wave drains first).
+        """
+        pool = self._ensure_pool()
+        plane = self._plane
+        assert plane is not None
+        wave: list[tuple[object, list[StepTask]]] = []
+        slot_of: dict[int, int] = {}
+
+        def drain() -> None:
+            for future, tasks in wave:
+                results = future.result()
+                for task, result in zip(tasks, results):
+                    task.result = result
+            wave.clear()
+            slot_of.clear()
+
+        for chunk in chunks:
+            base = chunk[0].base_vec
+            key = id(base)
+            if key not in slot_of:
+                if len(slot_of) >= plane.slots:
+                    drain()
+                slot = len(slot_of)
+                plane.write(slot, base)
+                slot_of[key] = slot
+            future = pool.submit(
+                _pool_run_group,
+                slot_of[key],
+                [t.shard_index for t in chunk],
+                [t.orders for t in chunk],
+            )
+            self.stats["pool_groups"] += 1
+            wave.append((future, chunk))
+        drain()
+
+    # -- lifecycle ------------------------------------------------------
+    def shutdown(self) -> None:
+        """Drop pending work, stop workers, destroy the plane segment."""
+        self._pending.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._plane is not None:
+            self._plane.unlink()
+            self._plane = None

@@ -1,0 +1,431 @@
+"""Vectorized client cohorts: N clients' training steps in one stacked call.
+
+A *cohort* is a group of homogeneous client subtasks — same architecture,
+same base parameter version, same shard length — whose local training
+passes are fused into batched NumPy kernels with a leading ``cohort``
+axis G.  Every parameter (and batch-norm buffer) carries its own member
+slice, because members diverge from the shared base after their first
+optimizer step; only the *operations* are shared.
+
+Bit-identity contract: for every supported layer the stacked kernel
+performs, per member, exactly the operations the serial layer performs —
+``np.matmul`` on (G, n, d) @ (G, d, k) issues the same per-slice GEMM as
+the serial 2-D product, elementwise ops are shape-blind, and axis
+reductions over the member's own block accumulate in the same order.
+``tests/nn/test_cohort_equivalence.py`` holds this contract under
+Hypothesis across dtypes, cohort sizes and update rules; the runner-level
+digest test holds it end to end.
+
+Unsupported layer kinds (Residual, LayerNorm, Dropout, recurrent cells)
+raise :class:`CohortUnsupported` at compile time — callers fall back to
+the serial per-client path, never to silently different numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import TrainingError
+from .conv import avg_pool2d, col2im, global_avg_pool2d, im2col, max_pool2d
+from .layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam
+from .serialization import StateLayout
+from .tensor import Tensor
+
+__all__ = [
+    "CohortUnsupported",
+    "cohort_conv2d",
+    "cohort_cross_entropy",
+    "CohortModel",
+    "CohortTrainer",
+]
+
+
+class CohortUnsupported(TrainingError):
+    """The module tree contains a layer with no stacked kernel."""
+
+
+# ---------------------------------------------------------------------------
+# Stacked kernels
+# ---------------------------------------------------------------------------
+
+def cohort_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    stride: int = 1,
+    pad: int = 0,
+) -> Tensor:
+    """Batched 2-D convolution: (G, N, C, H, W) with per-member OIHW weights.
+
+    The im2col transform is per-sample, so the cohort axis folds into the
+    batch axis for the unfold/scatter; the GEMM stays per-member (weights
+    differ) as one batched ``np.matmul`` — the same per-slice dgemm the
+    serial kernel issues, hence bit-identical outputs and gradients.
+    """
+    g_, n, c, h, w = x.shape
+    _, co, ci, kh, kw = weight.shape
+    if ci != c:
+        raise TrainingError(f"cohort conv input has {c} channels, weight expects {ci}")
+    cols, oh, ow = im2col(x.data.reshape(g_ * n, c, h, w), kh, kw, stride, pad)
+    cols3 = cols.reshape(g_, n * oh * ow, ci * kh * kw)
+    w2d = weight.data.reshape(g_, co, ci * kh * kw)
+    out = np.matmul(cols3, w2d.transpose(0, 2, 1))  # (G, N*OH*OW, CO)
+    if bias is not None:
+        out += bias.data.reshape(g_, 1, co)
+    out5 = np.ascontiguousarray(
+        out.reshape(g_, n, oh, ow, co).transpose(0, 1, 4, 2, 3)
+    )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g2d = g.transpose(0, 1, 3, 4, 2).reshape(g_, n * oh * ow, co)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g2d.sum(axis=1))
+        if weight.requires_grad:
+            gw = np.matmul(g2d.transpose(0, 2, 1), cols3)
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = np.matmul(g2d, w2d)  # (G, N*OH*OW, CI*KH*KW)
+            gx = col2im(
+                gcols.reshape(g_ * n * oh * ow, ci * kh * kw),
+                (g_ * n, c, h, w),
+                kh,
+                kw,
+                stride,
+                pad,
+            )
+            x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out5, parents, backward)
+
+
+def cohort_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Stacked softmax cross-entropy: (G, N, C) logits, (G, N) int labels.
+
+    Per member this is exactly :func:`repro.nn.losses.cross_entropy` — the
+    same shifted-logit logsumexp, the same gather, the same ``1/N``-scaled
+    closed-form gradient.  The scalar value is the *sum* of per-member
+    mean losses (each member's gradient seed is still 1, matching one
+    serial ``backward()`` per member).
+    """
+    g_, n, c = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (g_, n):
+        raise TrainingError(
+            f"cohort labels shape {labels.shape} incompatible with logits "
+            f"{logits.shape}"
+        )
+    shifted = logits.data - logits.data.max(axis=2, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+    log_probs = shifted - logsumexp
+    gi = np.arange(g_)[:, None]
+    ni = np.arange(n)[None, :]
+    per_member = -log_probs[gi, ni, labels].mean(axis=1)  # (G,)
+
+    def backward(g: np.ndarray) -> None:
+        if logits.requires_grad:
+            grad = np.exp(log_probs)
+            grad[gi, ni, labels] -= 1.0
+            logits._accumulate(grad * (float(g) / n))
+
+    return Tensor._make(np.asarray(per_member.sum()), (logits,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Stacked model: compiled from a serial Module tree
+# ---------------------------------------------------------------------------
+
+class _CohortDense:
+    def __init__(self, model: "CohortModel", prefix: str, layer: Dense) -> None:
+        self.weight = model.param(f"{prefix}weight")
+        self.bias = model.param(f"{prefix}bias") if layer.bias is not None else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            g_, k = self.bias.shape
+            out = out + self.bias.reshape(g_, 1, k)
+        return out
+
+
+class _CohortConv2D:
+    def __init__(self, model: "CohortModel", prefix: str, layer: Conv2D) -> None:
+        self.weight = model.param(f"{prefix}weight")
+        self.bias = model.param(f"{prefix}bias") if layer.bias is not None else None
+        self.stride = layer.stride
+        self.padding = layer.padding
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return cohort_conv2d(
+            x, self.weight, self.bias, stride=self.stride, pad=self.padding
+        )
+
+
+class _CohortBatchNorm:
+    """Stacked batch norm: per-member batch statistics and running buffers.
+
+    Mirrors :class:`repro.nn.layers.BatchNorm` in training mode op for op,
+    with the reduction axes shifted by the cohort axis — per-member
+    mean/var over the member's own batch block, verified bit-identical.
+    """
+
+    def __init__(self, model: "CohortModel", prefix: str, layer: BatchNorm) -> None:
+        self.gamma = model.param(f"{prefix}gamma")
+        self.beta = model.param(f"{prefix}beta")
+        self.running_mean = model.buffer(f"buffer:{prefix}running_mean")
+        self.running_var = model.buffer(f"buffer:{prefix}running_var")
+        self.momentum = layer.momentum
+        self.eps = layer.eps
+        self.num_features = layer.num_features
+
+    def __call__(self, x: Tensor) -> Tensor:
+        g_ = x.shape[0]
+        if x.ndim == 3:
+            axes: tuple[int, ...] = (1,)
+            bshape = (g_, 1, self.num_features)
+        elif x.ndim == 5:
+            axes = (1, 3, 4)
+            bshape = (g_, 1, self.num_features, 1, 1)
+        else:
+            raise CohortUnsupported(
+                f"cohort BatchNorm expects 3-D or 5-D stacked input, got "
+                f"ndim={x.ndim}"
+            )
+        # Training-mode statistics (client subtasks always train).
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        self.running_mean *= self.momentum
+        self.running_mean += (1.0 - self.momentum) * mean
+        self.running_var *= self.momentum
+        self.running_var += (1.0 - self.momentum) * var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(bshape)) * inv_std.reshape(bshape)
+        return x_hat * self.gamma.reshape(bshape) + self.beta.reshape(bshape)
+
+
+class _CohortFold:
+    """Per-sample layer applied by folding the cohort into the batch axis."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor]) -> None:
+        self.fn = fn
+
+    def __call__(self, x: Tensor) -> Tensor:
+        g_, n = x.shape[0], x.shape[1]
+        folded = self.fn(x.reshape((g_ * n,) + x.shape[2:]))
+        return folded.reshape((g_, n) + folded.shape[1:])
+
+
+class _CohortFlatten:
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+
+class CohortModel:
+    """A serial module tree compiled into stacked-parameter form.
+
+    Parameters and buffers are held as (G, \\*shape) arrays keyed by the
+    serial model's :class:`StateLayout` keys; :meth:`load` scatters G flat
+    base vectors into them and :meth:`pack` gathers G flat result vectors
+    back.  The same instance is reused across steps — every step fully
+    overwrites the state, exactly as the serial per-client models are
+    overwritten from the downloaded parameter file.
+    """
+
+    def __init__(self, module: Module, group: int) -> None:
+        if group < 1:
+            raise TrainingError(f"cohort group must be >= 1, got {group}")
+        self.group = group
+        self.layout = StateLayout.for_state(module.state_dict())
+        self.params: dict[str, Tensor] = {}
+        self.buffers: dict[str, np.ndarray] = {}
+        for key, shape in zip(self.layout.keys, self.layout.shapes):
+            stacked = np.zeros((group,) + shape)
+            if key.startswith("buffer:"):
+                self.buffers[key] = stacked
+            else:
+                self.params[key] = Tensor(stacked, requires_grad=True, name=key)
+        self.forwards = self._compile(module, "")
+
+    # -- compile --------------------------------------------------------
+    def param(self, key: str) -> Tensor:
+        return self.params[key]
+
+    def buffer(self, key: str) -> np.ndarray:
+        return self.buffers[key]
+
+    def _compile(self, module: Module, prefix: str) -> list[Callable[[Tensor], Tensor]]:
+        if isinstance(module, Sequential):
+            chain: list[Callable[[Tensor], Tensor]] = []
+            for name, child in module._modules.items():
+                chain.extend(self._compile(child, f"{prefix}{name}."))
+            return chain
+        if isinstance(module, Dense):
+            return [_CohortDense(self, prefix, module)]
+        if isinstance(module, Conv2D):
+            return [_CohortConv2D(self, prefix, module)]
+        if isinstance(module, BatchNorm):
+            return [_CohortBatchNorm(self, prefix, module)]
+        if isinstance(module, Flatten):
+            return [_CohortFlatten()]
+        if isinstance(module, ReLU):
+            from . import functional as F
+
+            return [_CohortFold(F.relu)]
+        if isinstance(module, LeakyReLU):
+            from . import functional as F
+
+            slope = module.negative_slope
+            return [_CohortFold(lambda x: F.leaky_relu(x, slope))]
+        if isinstance(module, Tanh):
+            from . import functional as F
+
+            return [_CohortFold(F.tanh)]
+        if isinstance(module, Sigmoid):
+            from . import functional as F
+
+            return [_CohortFold(F.sigmoid)]
+        if isinstance(module, MaxPool2D):
+            kernel, stride = module.kernel, module.stride
+            return [_CohortFold(lambda x: max_pool2d(x, kernel, stride))]
+        if isinstance(module, AvgPool2D):
+            kernel, stride = module.kernel, module.stride
+            return [_CohortFold(lambda x: avg_pool2d(x, kernel, stride))]
+        if isinstance(module, GlobalAvgPool2D):
+            return [_CohortFold(global_avg_pool2d)]
+        raise CohortUnsupported(
+            f"no stacked kernel for layer {type(module).__name__}; "
+            "this cohort must run on the serial path"
+        )
+
+    # -- state ----------------------------------------------------------
+    def load(self, base_vecs: np.ndarray) -> None:
+        """Scatter (G, total_size) flat vectors into the stacked state."""
+        if base_vecs.shape != (self.group, self.layout.total_size):
+            raise TrainingError(
+                f"cohort base vectors have shape {base_vecs.shape}, expected "
+                f"({self.group}, {self.layout.total_size})"
+            )
+        for key, offset, size, shape in zip(
+            self.layout.keys, self.layout.offsets, self.layout.sizes, self.layout.shapes
+        ):
+            dst = (
+                self.buffers[key]
+                if key.startswith("buffer:")
+                else self.params[key].data
+            )
+            np.copyto(dst, base_vecs[:, offset : offset + size].reshape((self.group,) + shape))
+
+    def pack(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Gather the stacked state back into (G, total_size) flat vectors."""
+        if out is None:
+            out = np.empty((self.group, self.layout.total_size))
+        for key, offset, size in zip(
+            self.layout.keys, self.layout.offsets, self.layout.sizes
+        ):
+            src = (
+                self.buffers[key]
+                if key.startswith("buffer:")
+                else self.params[key].data
+            )
+            out[:, offset : offset + size] = src.reshape(self.group, size)
+        return out
+
+    def accumulate_grads(self, total: np.ndarray) -> None:
+        """Add each parameter's current gradient into (G, total_size) slots."""
+        for key, offset, size in zip(
+            self.layout.keys, self.layout.offsets, self.layout.sizes
+        ):
+            if key.startswith("buffer:"):
+                continue
+            grad = self.params[key].grad
+            if grad is None:
+                continue
+            view = total[:, offset : offset + size]
+            np.add(view, grad.reshape(self.group, size), out=view)
+
+    # -- forward --------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        for fn in self.forwards:
+            x = fn(x)
+        return x
+
+    def zero_grad(self) -> None:
+        for p in self.params.values():
+            p.zero_grad()
+
+    def parameters(self) -> list[Tensor]:
+        return list(self.params.values())
+
+
+class CohortTrainer:
+    """Run G members' full local-training subtasks as one stacked pass.
+
+    The caller supplies, per member, the flat base parameter vector, the
+    shard and the pre-drawn per-epoch batch orders (RNG draws happen at
+    the caller's site so the draw *order* matches the serial schedule).
+    Returns stacked new parameter vectors and, when the update rule
+    consumes gradients, the stacked accumulated local gradients.
+    """
+
+    def __init__(self, template: Module, group: int) -> None:
+        self.model = CohortModel(template, group)
+        self.group = group
+
+    def run(
+        self,
+        base_vecs: np.ndarray,
+        shards: list,
+        orders: list[list[np.ndarray]],
+        batch_size: int,
+        optimizer: str,
+        learning_rate: float,
+        local_epochs: int,
+        collect_gradient: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        g_ = self.group
+        if not (len(shards) == len(orders) == g_):
+            raise TrainingError(
+                f"cohort of {g_} got {len(shards)} shards / {len(orders)} orders"
+            )
+        n = len(shards[0])
+        if any(len(shard) != n for shard in shards):
+            raise TrainingError("cohort members must have equal shard lengths")
+        model = self.model
+        model.load(base_vecs)
+        if optimizer == "adam":
+            opt = Adam(model.parameters(), lr=learning_rate)
+        else:
+            opt = SGD(model.parameters(), lr=learning_rate)
+        total = (
+            np.zeros((g_, model.layout.total_size)) if collect_gradient else None
+        )
+        for epoch in range(local_epochs):
+            for start in range(0, n, batch_size):
+                idxs = [orders[g][epoch][start : start + batch_size] for g in range(g_)]
+                xb = np.stack([shards[g].x[idxs[g]] for g in range(g_)])
+                yb = np.stack([shards[g].y[idxs[g]] for g in range(g_)])
+                model.zero_grad()
+                loss = cohort_cross_entropy(model.forward(Tensor(xb)), yb)
+                loss.backward()
+                if total is not None:
+                    model.accumulate_grads(total)
+                opt.step()
+        return model.pack(), total

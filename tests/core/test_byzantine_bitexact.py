@@ -23,8 +23,14 @@ from .test_runner import tiny_config
 # Captured pre-fabric (see module docstring).  If one of these moves, the
 # change is NOT backward compatible for default runs — do not just update
 # the constant; find the leak.
+#
+# GOLDEN_PLAIN_CORRUPT was re-captured once, when the multi-core execution
+# plane (DESIGN.md §8.5) re-keyed unreplicated batch-order draws from a
+# sequential per-client stream to per-attempt generators so that draw
+# *timing* can never shift another attempt's permutations.  The replicated
+# golden did not move: replicas already drew per logical workunit.
 GOLDEN_PLAIN_CORRUPT = (
-    "74895925f1be58af0918df0b1866f85a0a2c977e1728e7659eec3d22920fa6c0"
+    "6fd2cd9994ca81ebaf2dbf567c26d3e739f2f3b257bf47087b09384c63509f2b"
 )
 GOLDEN_REPLICATED = (
     "c3b55332130b2798eda77c314e150bd87611bd4305f8e2d936a0f78641a22240"

@@ -1,0 +1,61 @@
+"""Golden four-combo regression: the execution plane is invisible in the bits.
+
+One P1C3T2 run, four execution configurations — serial baseline, cohort
+fusion on, shared-plane process pool on, both on.  All four must hash to
+the same golden digest over final parameters, counters, epoch records and
+the full trace-kind census.  Any drift means the multi-core plane leaked
+into the simulation: an extra RNG draw, a reordered batch permutation, a
+stray trace record, or float ops reassociated by the stacked kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+
+import pytest
+
+from repro.core import DistributedRunner
+
+from .test_runner import tiny_config
+
+# Captured on the serial path when the plane landed (DESIGN.md §8.5).
+# This is the *default-path* digest: if it moves, default runs changed.
+GOLDEN_P1C3T2 = (
+    "7d17db9b18a335a4326d274d051597c804f488c740f1ccb114cf97060a691be4"
+)
+
+COMBOS = {
+    "serial": dict(),
+    "cohort": dict(cohort_size=4),
+    "pool": dict(step_jobs=2),
+    "cohort+pool": dict(cohort_size=4, step_jobs=2),
+}
+
+
+def run_digest(config) -> str:
+    runner = DistributedRunner(config)
+    result = runner.run()
+    h = hashlib.sha256()
+    h.update(runner.pool.current_params().tobytes())
+    h.update(json.dumps(result.counters, sort_keys=True).encode())
+    h.update(
+        json.dumps(
+            [
+                [e.end_time_s, e.val_accuracy_mean, e.test_accuracy]
+                for e in result.epochs
+            ]
+        ).encode()
+    )
+    kinds = Counter(rec.kind for rec in runner.trace)
+    h.update(json.dumps(sorted(kinds.items())).encode())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("combo", sorted(COMBOS))
+def test_every_execution_combo_matches_the_golden(combo):
+    config = tiny_config(num_clients=3, **COMBOS[combo])
+    assert run_digest(config) == GOLDEN_P1C3T2, (
+        f"execution combo {combo!r} drifted from the serial golden"
+    )

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core import CallableAlpha, Sweep, TrainingJobConfig, run_configs
-from repro.core.parallel import default_jobs, picklable
+from repro.core.parallel import (
+    ParallelFallbackWarning,
+    default_jobs,
+    last_fallback,
+    picklable,
+)
 from repro.errors import ConfigurationError
 
 
@@ -53,8 +58,32 @@ class TestRunConfigs:
     def test_unpicklable_config_falls_back_to_serial(self, base_config):
         sneaky = base_config.with_alpha(CallableAlpha(lambda e: 0.9))
         assert not picklable([sneaky])
-        (result, _), = run_configs([sneaky], jobs=4)
+        with pytest.warns(ParallelFallbackWarning):
+            (result, _), = run_configs([sneaky], jobs=4)
         assert len(result.epochs) == 1
+
+    def test_fallback_is_loud_and_recorded(self, base_config):
+        """Forced serial degradation publishes a record on every channel:
+        warning, ``last_fallback`` and the ``on_fallback`` callback."""
+        sneaky = base_config.with_alpha(CallableAlpha(lambda e: 0.9))
+        seen: list = []
+        with pytest.warns(ParallelFallbackWarning, match="parallel.fallback"):
+            run_configs([sneaky, sneaky], jobs=3, on_fallback=seen.append)
+        fallback = last_fallback()
+        assert fallback is not None
+        assert fallback.kind == "parallel.fallback"
+        assert fallback.requested_jobs == 3
+        assert fallback.configs == 2
+        assert fallback.reason == "unpicklable_config"
+        assert seen == [fallback]
+
+    def test_clean_run_resets_last_fallback(self, base_config):
+        sneaky = base_config.with_alpha(CallableAlpha(lambda e: 0.9))
+        with pytest.warns(ParallelFallbackWarning):
+            run_configs([sneaky], jobs=2)
+        assert last_fallback() is not None
+        run_configs([base_config], jobs=1)
+        assert last_fallback() is None
 
     def test_jobs_below_one_rejected(self, base_config):
         with pytest.raises(ConfigurationError):

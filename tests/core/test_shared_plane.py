@@ -1,0 +1,140 @@
+"""Shared-memory parameter plane: lifecycle, read-only views, crash safety.
+
+The plane (DESIGN.md §8.5) is the zero-pickle transport for published
+parameter vectors: the owner creates a fixed slot grid in
+``multiprocessing.shared_memory``, workers attach read-only NumPy views.
+These tests pin the lifecycle contract — create → attach → close →
+unlink, idempotent teardown, loud attach-after-unlink — and the two
+properties everything else leans on: worker views can never write the
+plane, and a worker dying mid-step (even ``kill -9``) neither unlinks
+nor leaks the segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import PlaneHandle, SharedParameterPlane
+from repro.errors import ConfigurationError, SimulationError
+
+
+def _shm_path(name: str) -> str:
+    return os.path.join("/dev/shm", name.lstrip("/"))
+
+
+class TestLifecycle:
+    def test_create_write_attach_read_roundtrip(self):
+        with SharedParameterPlane(slot_size=6, slots=3) as plane:
+            vec = np.arange(6, dtype=np.float64) * 1.5
+            plane.write(2, vec)
+            handle = plane.handle()
+            assert handle == PlaneHandle(plane.name, 3, 6)
+            with handle.attach() as attached:
+                assert attached.view(2).tobytes() == vec.tobytes()
+                assert attached.view(0).tobytes() == bytes(6 * 8)
+
+    def test_write_is_visible_to_an_already_attached_worker(self):
+        with SharedParameterPlane(slot_size=4, slots=2) as plane:
+            with plane.handle().attach() as attached:
+                before = attached.view(1).copy()
+                plane.write(1, np.full(4, 7.0))
+                assert not np.array_equal(attached.view(1), before)
+                assert attached.view(1).tobytes() == np.full(4, 7.0).tobytes()
+
+    def test_geometry_and_bounds_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            SharedParameterPlane(slot_size=0, slots=4)
+        with pytest.raises(ConfigurationError):
+            SharedParameterPlane(slot_size=4, slots=0)
+        with SharedParameterPlane(slot_size=4, slots=2) as plane:
+            with pytest.raises(ConfigurationError):
+                plane.write(2, np.zeros(4))
+            with pytest.raises(ConfigurationError):
+                plane.write(0, np.zeros(5))
+
+    def test_unlink_is_idempotent_and_removes_the_segment(self):
+        plane = SharedParameterPlane(slot_size=4, slots=2)
+        name = plane.name
+        assert os.path.exists(_shm_path(name))
+        plane.unlink()
+        plane.unlink()  # second call is a no-op, not an error
+        assert not os.path.exists(_shm_path(name))
+        with pytest.raises(SimulationError):
+            plane.write(0, np.zeros(4))
+
+    def test_attach_after_unlink_raises_file_not_found(self):
+        plane = SharedParameterPlane(slot_size=4, slots=2)
+        handle = plane.handle()
+        plane.unlink()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_worker_detach_leaves_segment_alive(self):
+        with SharedParameterPlane(slot_size=4, slots=2) as plane:
+            plane.write(0, np.ones(4))
+            attached = plane.handle().attach()
+            attached.close()
+            # A fresh attachment still sees the data: close() dropped only
+            # the worker's mapping, never the segment.
+            with plane.handle().attach() as again:
+                assert again.view(0).tobytes() == np.ones(4).tobytes()
+
+
+class TestReadOnly:
+    def test_worker_view_refuses_writes(self):
+        with SharedParameterPlane(slot_size=4, slots=1) as plane:
+            with plane.handle().attach() as attached:
+                view = attached.view(0)
+                assert not view.flags.writeable
+                with pytest.raises(ValueError):
+                    view[0] = 1.0
+
+    def test_owner_verification_view_refuses_writes(self):
+        with SharedParameterPlane(slot_size=4, slots=1) as plane:
+            view = plane.view(0)
+            with pytest.raises(ValueError):
+                view[:] = 3.0
+
+
+def _attach_and_hang(handle: PlaneHandle, ready) -> None:
+    attached = handle.attach()
+    attached.view(0)  # mapped and in use, as in a real mid-step worker
+    ready.set()
+    time.sleep(60)  # far longer than the test; killed well before this
+
+
+class TestCrashSafety:
+    def test_sigkilled_worker_neither_unlinks_nor_leaks(self):
+        """kill -9 mid-step: the segment survives the worker and still
+        disappears exactly once, at the owner's unlink."""
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        with SharedParameterPlane(slot_size=8, slots=2) as plane:
+            plane.write(0, np.arange(8, dtype=np.float64))
+            ready = ctx.Event()
+            worker = ctx.Process(
+                target=_attach_and_hang, args=(plane.handle(), ready)
+            )
+            worker.start()
+            try:
+                assert ready.wait(timeout=30), "worker never attached"
+                os.kill(worker.pid, signal.SIGKILL)
+            finally:
+                worker.join(timeout=30)
+            assert worker.exitcode == -signal.SIGKILL
+            # Not unlinked by the dead worker: owner and fresh attachments
+            # still read the slot.
+            assert os.path.exists(_shm_path(plane.name))
+            with plane.handle().attach() as attached:
+                expected = np.arange(8, dtype=np.float64).tobytes()
+                assert attached.view(0).tobytes() == expected
+            name = plane.name
+        # ... and not leaked either: the owner's unlink removed it.
+        assert not os.path.exists(_shm_path(name))

@@ -1,0 +1,142 @@
+"""Property suite: batched cohort kernels == per-client serial loop, bitwise.
+
+The multi-core execution plane (DESIGN.md §8.5) fuses N homogeneous
+clients' local-training subtasks into one stacked pass over a
+``cohort_size`` axis.  Its entire correctness contract is *bit-identical
+to the serial path* — not approximately equal, byte-for-byte equal — so
+these tests compare ``CohortTrainer`` against the single-client oracle
+``run_local_step`` with ``ndarray.tobytes()`` equality across
+architectures, dtypes, cohort sizes 1–8, both optimizers, and both
+gradient-collection modes (plain VC-ASGD vs gradient-consuming rules).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.steps import draw_batch_orders, run_local_step
+from repro.data import Dataset
+from repro.nn.cohort import CohortTrainer
+from repro.nn.models import make_convnet, make_mlp
+from repro.nn.serialization import StateLayout
+
+
+def _members(template, group, rng, *, n, x_shape, num_classes, dtype, epochs):
+    """Build one cohort's worth of inputs: base vectors, shards, orders."""
+    layout = StateLayout.for_state(template.state_dict())
+    init = layout.pack(template.state_arrays())
+    base_vecs = np.stack(
+        [init + 0.05 * rng.standard_normal(layout.total_size) for _ in range(group)]
+    )
+    shards = [
+        Dataset(
+            rng.normal(size=(n, *x_shape)).astype(dtype),
+            rng.integers(0, num_classes, size=n),
+        )
+        for _ in range(group)
+    ]
+    orders = [draw_batch_orders(rng, n, epochs) for _ in range(group)]
+    return layout, base_vecs, shards, orders
+
+
+def _assert_cohort_matches_serial(
+    template, group, rng, *, n, x_shape, num_classes, dtype,
+    batch_size, optimizer, learning_rate, epochs, collect_gradient,
+):
+    layout, base_vecs, shards, orders = _members(
+        template, group, rng,
+        n=n, x_shape=x_shape, num_classes=num_classes, dtype=dtype, epochs=epochs,
+    )
+    packed, totals = CohortTrainer(template, group).run(
+        base_vecs, shards, orders,
+        batch_size=batch_size, optimizer=optimizer,
+        learning_rate=learning_rate, local_epochs=epochs,
+        collect_gradient=collect_gradient,
+    )
+    assert packed.shape == (group, layout.total_size)
+    state_arrays = template.state_arrays()
+    for g in range(group):
+        vec, grad = run_local_step(
+            template, state_arrays, layout, base_vecs[g], shards[g], orders[g],
+            batch_size=batch_size, optimizer=optimizer,
+            learning_rate=learning_rate, collect_gradient=collect_gradient,
+        )
+        assert packed[g].tobytes() == vec.tobytes(), f"member {g} params differ"
+        if collect_gradient:
+            assert totals[g].tobytes() == grad.tobytes(), f"member {g} grads differ"
+        else:
+            assert totals is None and grad is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    group=st.integers(1, 8),
+    hidden=st.integers(2, 6),
+    batch_norm=st.booleans(),
+    activation=st.sampled_from(["relu", "tanh"]),
+    dtype=st.sampled_from([np.float32, np.float64]),
+    optimizer=st.sampled_from(["adam", "sgd"]),
+    collect_gradient=st.booleans(),
+    batch_size=st.integers(2, 7),
+)
+def test_property_mlp_cohort_bitwise_equals_serial(
+    seed, group, hidden, batch_norm, activation, dtype,
+    optimizer, collect_gradient, batch_size,
+):
+    rng = np.random.default_rng(seed)
+    in_features, num_classes = 6, 3
+    template = make_mlp(
+        rng, in_features=in_features, hidden=(hidden,),
+        num_classes=num_classes, activation=activation, batch_norm=batch_norm,
+    )
+    _assert_cohort_matches_serial(
+        template, group, rng,
+        n=11, x_shape=(in_features,), num_classes=num_classes, dtype=dtype,
+        batch_size=batch_size, optimizer=optimizer, learning_rate=0.01,
+        epochs=2, collect_gradient=collect_gradient,
+    )
+
+
+@pytest.mark.parametrize("group", [1, 2, 5, 8])
+def test_every_cohort_size_mlp(group):
+    """Dense sweep of the cohort axis itself (no shrinking surprises)."""
+    rng = np.random.default_rng(group)
+    template = make_mlp(rng, in_features=5, hidden=(4,), num_classes=3)
+    _assert_cohort_matches_serial(
+        template, group, rng,
+        n=9, x_shape=(5,), num_classes=3, dtype=np.float64,
+        batch_size=4, optimizer="adam", learning_rate=0.01,
+        epochs=2, collect_gradient=False,
+    )
+
+
+@pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+@pytest.mark.parametrize("collect_gradient", [False, True])
+def test_convnet_cohort_bitwise_equals_serial(optimizer, collect_gradient):
+    """NCHW path: conv + batch-norm + global pooling, both update modes."""
+    rng = np.random.default_rng(7)
+    template = make_convnet(
+        rng, in_channels=2, image_size=4, channels=(3,), num_classes=3
+    )
+    _assert_cohort_matches_serial(
+        template, 3, rng,
+        n=8, x_shape=(2, 4, 4), num_classes=3, dtype=np.float32,
+        batch_size=3, optimizer=optimizer, learning_rate=0.01,
+        epochs=2, collect_gradient=collect_gradient,
+    )
+
+
+def test_short_final_batch_matches():
+    """n not divisible by batch_size: the ragged tail batch must fuse too."""
+    rng = np.random.default_rng(21)
+    template = make_mlp(rng, in_features=4, hidden=(3,), num_classes=2)
+    _assert_cohort_matches_serial(
+        template, 4, rng,
+        n=10, x_shape=(4,), num_classes=2, dtype=np.float64,
+        batch_size=7, optimizer="sgd", learning_rate=0.05,
+        epochs=3, collect_gradient=True,
+    )
