@@ -1,0 +1,247 @@
+"""Codec frontier: compression x staleness x update rule.
+
+Every cell trains the Fig. 2-class default job (P1C3, ~5.5M scalars)
+under one wire codec, one concurrency level (T is the staleness knob:
+more in-flight subtasks = staler updates) and one update rule, and
+records what the codec plane actually charged the simulated wire plus
+the accuracy the run actually reached — lossy cells train on decoded
+parameters, so the accuracy column is measured, not assumed.
+
+The committed artifact is ``BENCH_codec.json`` at the repo root (full
+grid; ``benchmarks/results/codec_frontier.txt`` carries the table).  The
+headline assertion is the frontier claim: at least one lossy codec cuts
+total bytes on the wire by >= 4x against the measured zlib baseline while
+giving up <= 2 accuracy points.
+
+Quick mode (``REPRO_CODEC_QUICK=1``, the CI codec-smoke job) trims the
+grid to the zlib baseline plus two lossy codecs at T2/VC-ASGD and writes
+``benchmarks/results/codec_frontier_quick.json`` instead.  With
+``REPRO_CODEC_BASELINE=<file>`` the run is additionally gated against a
+committed report: per-codec encode throughput may not regress more than
+2x, and no shared cell may exceed its committed bytes-on-wire by > 5%
+(wire sizes are deterministic; the slack covers schema evolution only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import DistributedRunner, TrainingJobConfig, make_rule
+from repro.nn.codecs import make_codec
+from repro.nn.serialization import StateLayout
+
+from _helpers import RESULTS_DIR, emit, run_once
+
+SCHEMA = "repro.bench.codec.v1"
+QUICK = os.environ.get("REPRO_CODEC_QUICK", "") not in ("", "0")
+BASELINE = os.environ.get("REPRO_CODEC_BASELINE", "")
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FRONTIER_EPOCHS = 16
+CODECS = (None, "zlib", "fp16", "int8", "topk", "delta")
+# (rule, concurrency) slices.  T is the staleness knob for VC-ASGD;
+# Downpour at this scale only tolerates T2 (T8's staleness diverges it
+# at any server_lr — same instability the rule-family race documents),
+# so the gradient-stream codec path is swept at T2 only.
+SLICES = (("vcasgd", 2), ("vcasgd", 8), ("downpour", 2))
+DOWNPOUR_LR = 0.02
+
+QUICK_CODECS = ("zlib", "int8", "topk")
+QUICK_SLICES = (("vcasgd", 2),)
+
+# Frontier claim thresholds (the ISSUE's acceptance bar).
+MIN_WIRE_REDUCTION = 4.0
+MAX_ACC_LOSS = 0.02
+
+
+def cell_config(codec: str | None, concurrency: int, rule: str) -> TrainingJobConfig:
+    return TrainingJobConfig(
+        max_concurrent_subtasks=concurrency,
+        max_epochs=FRONTIER_EPOCHS,
+        seed=1234,
+        codec=codec,
+        update_rule=(
+            None if rule == "vcasgd" else make_rule(rule, server_lr=DOWNPOUR_LR)
+        ),
+    )
+
+
+def run_cell(codec: str | None, concurrency: int, rule: str) -> dict[str, object]:
+    runner = DistributedRunner(cell_config(codec, concurrency, rule))
+    result = runner.run()
+    c = result.counters
+    cell: dict[str, object] = {
+        "codec": codec or "none",
+        "concurrency": concurrency,
+        "rule": rule,
+        "final_val_accuracy": round(result.final_val_accuracy, 4),
+        "mean_staleness_x100": c["mean_staleness_x100"],
+        "bytes_down": c["bytes_down"],
+        "bytes_up": c["bytes_up"],
+        "wire_total_bytes": c["bytes_down"] + c["bytes_up"],
+    }
+    plane = runner._codec_plane
+    if plane is not None:
+        cell.update(
+            publish_raw_bytes=c["codec_publish_raw_bytes"],
+            publish_wire_bytes=c["codec_publish_wire_bytes"],
+            upload_raw_bytes=c["codec_upload_raw_bytes"],
+            upload_wire_bytes=c["codec_upload_wire_bytes"],
+            encode_cpu_s=round(plane.encode_cpu_s, 4),
+            decode_cpu_s=round(plane.decode_cpu_s, 4),
+        )
+    return cell
+
+
+def micro_throughput() -> dict[str, dict[str, float]]:
+    """Encode/decode MB/s per codec on a paper-scale parameter vector."""
+    template = TrainingJobConfig()
+    from repro.nn.models import build_model
+
+    state = build_model(template.model, np.random.default_rng(7)).state_dict()
+    layout = StateLayout(state)
+    vec = np.random.default_rng(11).normal(size=layout.total_size)
+    mb = vec.nbytes / 1e6
+    out: dict[str, dict[str, float]] = {}
+    for name in ("zlib", "fp16", "int8", "topk", "delta"):
+        codec = make_codec(name)
+        best_enc = min(
+            _timed(lambda: codec.encode(vec, layout)) for _ in range(3)
+        )
+        encoded = codec.encode(vec, layout)
+        best_dec = min(_timed(lambda: codec.decode(encoded)) for _ in range(3))
+        out[name] = {
+            "encode_mb_s": round(mb / best_enc, 1),
+            "decode_mb_s": round(mb / best_dec, 1),
+            "wire_bytes": encoded.nbytes,
+        }
+    return out
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def check_baseline(report: dict, baseline_path: str) -> list[str]:
+    """2x encode-throughput gate + bytes-on-wire ceiling vs a committed run."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    failures: list[str] = []
+    for name, mine in report["micro"].items():
+        ref = baseline.get("micro", {}).get(name)
+        if ref is None:
+            continue
+        if mine["encode_mb_s"] < ref["encode_mb_s"] / 2.0:
+            failures.append(
+                f"encode throughput regression: {name} "
+                f"{mine['encode_mb_s']} MB/s vs baseline {ref['encode_mb_s']}"
+            )
+    ref_cells = {
+        (c["codec"], c["concurrency"], c["rule"]): c
+        for c in baseline.get("cells", [])
+    }
+    for cell in report["cells"]:
+        ref = ref_cells.get((cell["codec"], cell["concurrency"], cell["rule"]))
+        if ref is None:
+            continue
+        if cell["wire_total_bytes"] > ref["wire_total_bytes"] * 1.05:
+            failures.append(
+                f"bytes-on-wire ceiling: {cell['codec']}/T{cell['concurrency']}"
+                f"/{cell['rule']} sent {cell['wire_total_bytes']} "
+                f"(ceiling {ref['wire_total_bytes']})"
+            )
+    return failures
+
+
+def test_codec_frontier(benchmark):
+    codecs = QUICK_CODECS if QUICK else CODECS
+    slices = QUICK_SLICES if QUICK else SLICES
+
+    def sweep():
+        cells = [
+            run_cell(codec, t, rule)
+            for rule, t in slices
+            for codec in codecs
+        ]
+        return cells, micro_throughput()
+
+    cells, micro = run_once(benchmark, sweep)
+    report = {
+        "schema": SCHEMA,
+        "quick": QUICK,
+        "epochs": FRONTIER_EPOCHS,
+        "cells": cells,
+        "micro": micro,
+    }
+
+    rows = [
+        [
+            c["codec"],
+            f"T{c['concurrency']}",
+            c["rule"],
+            f"{c['wire_total_bytes'] / 1e6:.1f}",
+            f"{c['final_val_accuracy']:.3f}",
+            c.get("encode_cpu_s", "-"),
+            c.get("decode_cpu_s", "-"),
+        ]
+        for c in cells
+    ]
+    emit(
+        "codec_frontier_quick" if QUICK else "codec_frontier",
+        render_table(
+            ["codec", "T", "rule", "wire MB", "final acc", "enc s", "dec s"],
+            rows,
+            title=f"Codec frontier ({FRONTIER_EPOCHS} epochs, "
+            "wire = bytes_down + bytes_up)",
+        ),
+    )
+
+    out = (
+        RESULTS_DIR / "codec_frontier_quick.json"
+        if QUICK
+        else ROOT / "BENCH_codec.json"
+    )
+    out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"report written to {out}")
+
+    # The frontier claim: per (T, rule) slice containing the zlib
+    # baseline, >= 1 lossy codec must cut wire bytes >= 4x while losing
+    # <= 2 accuracy points.
+    by_slice: dict[tuple[int, str], list[dict]] = {}
+    for cell in cells:
+        by_slice.setdefault((cell["concurrency"], cell["rule"]), []).append(cell)
+    for (t, rule), group in by_slice.items():
+        base = next(c for c in group if c["codec"] == "zlib")
+        lossy = [c for c in group if c["codec"] in ("fp16", "int8", "topk")]
+        if not lossy:
+            continue
+        frontier = [
+            c
+            for c in lossy
+            if base["wire_total_bytes"] / c["wire_total_bytes"]
+            >= MIN_WIRE_REDUCTION
+            and base["final_val_accuracy"] - c["final_val_accuracy"]
+            <= MAX_ACC_LOSS
+        ]
+        assert frontier, (t, rule, group)
+
+    # Delta is lossless: identical accuracy to the zlib baseline on the
+    # same slice, at no more wire than the baseline.
+    for (t, rule), group in by_slice.items():
+        base = next((c for c in group if c["codec"] == "zlib"), None)
+        delta = next((c for c in group if c["codec"] == "delta"), None)
+        if base is None or delta is None:
+            continue
+        assert delta["final_val_accuracy"] == base["final_val_accuracy"]
+        assert delta["wire_total_bytes"] <= base["wire_total_bytes"]
+
+    if BASELINE:
+        failures = check_baseline(report, BASELINE)
+        assert not failures, "\n".join(failures)

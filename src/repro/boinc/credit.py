@@ -17,6 +17,7 @@ BOINC's model:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,14 +57,38 @@ class CreditLedger:
 
     ``half_life_s`` controls the recent-average decay (BOINC uses ~1 week;
     scaled down here to match simulated experiment horizons).
+
+    ``claim_cap_factor`` hardens 2-replica quorums against claim
+    inflation.  With two claims the median *is* the midpoint, so a single
+    cheater claiming 100x still pockets ~50x.  BOINC's production
+    validators sanity-cap grants against historical claims for the same
+    app version; here every quorum grant is capped at
+    ``claim_cap_factor`` times the median of a sliding window of recent
+    claims (all claims seen by :meth:`grant_quorum`, honest and not).
+    The cap only engages once the window holds ``_CLAIM_WINDOW_MIN``
+    claims, so cold-start grants are never distorted, and equal honest
+    claims sit far below the cap and are unaffected.  ``None`` disables
+    the cap (pre-hardening behaviour).
     """
 
-    def __init__(self, half_life_s: float = 24 * 3600.0) -> None:
+    _CLAIM_WINDOW = 101
+    _CLAIM_WINDOW_MIN = 5
+
+    def __init__(
+        self,
+        half_life_s: float = 24 * 3600.0,
+        claim_cap_factor: float | None = 2.0,
+    ) -> None:
         if half_life_s <= 0:
             raise ConfigurationError("half_life_s must be positive")
+        if claim_cap_factor is not None and claim_cap_factor < 1.0:
+            raise ConfigurationError("claim_cap_factor must be >= 1 (or None)")
         self.half_life_s = half_life_s
+        self.claim_cap_factor = claim_cap_factor
         self.hosts: dict[str, HostCredit] = {}
         self.granted_total = 0.0
+        self.claims_capped = 0
+        self._recent_claims: deque[float] = deque(maxlen=self._CLAIM_WINDOW)
 
     def _host(self, host_id: str) -> HostCredit:
         host = self.hosts.get(host_id)
@@ -93,11 +118,23 @@ class CreditLedger:
         """Replicated result: every quorum member gets the *median* claim.
 
         The median defeats a single host inflating its claim (BOINC's
-        motivation for averaging valid claims).  Returns the per-host grant.
+        motivation for averaging valid claims) — except in 2-replica
+        quorums, where the median degenerates to the midpoint; there the
+        recent-claim cap (see class docstring) bounds the damage.
+        Returns the per-host grant.
         """
         if not claims:
             raise ConfigurationError("grant_quorum with no claims")
         grant = float(np.median([c.claimed for c in claims]))
+        if (
+            self.claim_cap_factor is not None
+            and len(self._recent_claims) >= self._CLAIM_WINDOW_MIN
+        ):
+            cap = self.claim_cap_factor * float(np.median(self._recent_claims))
+            if grant > cap:
+                grant = cap
+                self.claims_capped += 1
+        self._recent_claims.extend(c.claimed for c in claims)
         for claim in claims:
             host = self._host(claim.host_id)
             self._decay(host, now)

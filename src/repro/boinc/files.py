@@ -23,7 +23,14 @@ from ..simulation.engine import Simulator
 from ..simulation.network import NetworkLink
 from ..simulation.tracing import Trace
 
-__all__ = ["ServerFile", "FileCatalog", "StickyCache", "WebServer", "TransferError"]
+__all__ = [
+    "ServerFile",
+    "FileCatalog",
+    "StickyCache",
+    "FileTransferModel",
+    "WebServer",
+    "TransferError",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +142,12 @@ class StickyCache:
         self._entries: dict[str, int] = {}  # name -> size (insertion order = LRU)
         self.hits = 0
         self.misses = 0
+        # Publish version of the parameter file this client last fetched
+        # (parameter files are not sticky, but the client's working copy
+        # *is* a cache a delta codec can encode against).  Maintained by
+        # the codec plane's FileTransferModel hook; None until the first
+        # completed parameter download.
+        self.param_version: int | None = None
 
     def has(self, name: str) -> bool:
         """Whether the named file is cached."""
@@ -164,6 +177,36 @@ class StickyCache:
         return set(self._entries)
 
 
+class FileTransferModel:
+    """Decides what one file download costs on the wire.
+
+    The default model is the historical one: the file's published
+    compressed (or raw) size.  A codec plane
+    (:class:`repro.core.codec_plane.ParamCodecPlane`) hooks in here to
+    price parameter files per client — e.g. the delta codec charges only
+    the XOR chain between the client's cached version and the published
+    one — and to observe completed downloads (version bookkeeping,
+    ``net.decode`` tracing).  With no plane attached, behaviour is
+    byte-identical to the pre-codec transfer path.
+    """
+
+    def __init__(self) -> None:
+        self.codec_plane = None
+
+    def wire_size(self, file: ServerFile, cache, compression_enabled: bool) -> int:
+        """Bytes charged for one client's download of ``file``."""
+        if self.codec_plane is not None:
+            override = self.codec_plane.download_wire_size(file, cache)
+            if override is not None:
+                return override
+        return file.wire_size(compression_enabled)
+
+    def downloaded(self, file: ServerFile, cache, client_id: str, wu_id: str) -> None:
+        """Hook: one file of a completed (non-faulted) transfer."""
+        if self.codec_plane is not None:
+            self.codec_plane.on_downloaded(file, cache, client_id, wu_id)
+
+
 class WebServer:
     """Transfer engine: moves catalogue files over client links.
 
@@ -187,10 +230,14 @@ class WebServer:
         trace: Trace | None = None,
         faults: TransferFaultPlan | None = None,
         partitions: PartitionSchedule | None = None,
+        transfer_model: FileTransferModel | None = None,
     ) -> None:
         self.sim = sim
         self.catalog = catalog
         self.compression_enabled = compression_enabled
+        self.transfer_model = (
+            transfer_model if transfer_model is not None else FileTransferModel()
+        )
         self.trace = trace
         self.faults = faults if faults is not None else TransferFaultPlan()
         self.partitions = partitions if partitions is not None else PartitionSchedule()
@@ -272,14 +319,16 @@ class WebServer:
         total_wire = 0
         cache_hits: list[str] = []
         cache_misses: list[tuple[str, int, bool]] = []  # name, wire, sticky
+        transferred: list[ServerFile] = []
         for name in names:
             file = self.catalog.get(name)
             if cache is not None and file.sticky and cache.has(name):
                 cache_hits.append(name)
                 continue
-            wire = file.wire_size(self.compression_enabled)
+            wire = self.transfer_model.wire_size(file, cache, self.compression_enabled)
             total_time += link.transfer_time(wire, rng, now=self.sim.now)
             total_wire += wire
+            transferred.append(file)
             if cache is not None:
                 cache_misses.append((name, wire, file.sticky))
         reason = None
@@ -311,6 +360,8 @@ class WebServer:
             cache.misses += 1
             if sticky:
                 cache.add(name, wire)
+        for file in transferred:
+            self.transfer_model.downloaded(file, cache, client_id, wu_id)
         self.bytes_down += total_wire
         if self.trace is not None:
             self.trace.emit(

@@ -48,6 +48,7 @@ from .core import (
 from .core.baselines import run_single_instance
 from .errors import ConfigurationError
 from .core.checkpoint import load_checkpoint, save_checkpoint
+from .nn.codecs import CODEC_NAMES, VALUE_QUANTS
 from .core.runner import DistributedRunner
 from .obs import (
     ObservabilityConfig,
@@ -222,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--target", type=float, default=None, help="stop accuracy")
     run_p.add_argument("--store", choices=["eventual", "strong"], default="eventual")
+    codec_g = run_p.add_argument_group("parameter transfer codecs")
+    codec_g.add_argument(
+        "--codec",
+        choices=CODEC_NAMES,
+        default=None,
+        help="wire codec for parameter transfers (default: the flat "
+        "compressed-size model; lossy codecs train on decoded values)",
+    )
+    codec_g.add_argument(
+        "--topk",
+        type=float,
+        default=0.01,
+        metavar="FRACTION",
+        help="fraction of coordinates the topk codec keeps per upload",
+    )
+    codec_g.add_argument(
+        "--quant",
+        choices=VALUE_QUANTS,
+        default="fp32",
+        help="value quantization for the topk codec's kept coordinates",
+    )
     _add_fault_args(run_p)
     run_p.add_argument("--replicas", type=int, default=1)
     run_p.add_argument("--quorum", type=int, default=None)
@@ -348,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="server step size for gradient rules (downpour/dcasgd/rescaled)",
+    )
+    sweep_p.add_argument(
+        "--codec",
+        default=None,
+        help="comma-separated wire codecs; 'none' is the flat model; more "
+        f"than one adds a sweep axis (choices: none, {', '.join(CODEC_NAMES)})",
     )
     sweep_p.add_argument("--seed", type=int, default=1234)
     sweep_p.add_argument(
@@ -556,6 +584,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         server_planes=args.server_planes,
         cohort_size=args.cohort_size,
         step_jobs=args.step_jobs,
+        codec=args.codec,
+        codec_topk=args.topk,
+        codec_quant=args.quant,
         faults=_parse_faults(args),
         seed=args.seed,
     )
@@ -668,6 +699,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     schedule = _parse_alpha(args.alpha)
     rule_tokens = [token.strip() for token in args.rule.split(",") if token.strip()]
+    codec_tokens = [
+        token.strip().lower()
+        for token in (args.codec or "").split(",")
+        if token.strip()
+    ]
+    for token in codec_tokens:
+        if token != "none" and token not in CODEC_NAMES:
+            raise SystemExit(
+                f"unknown codec {token!r} (choices: none, {', '.join(CODEC_NAMES)})"
+            )
     jobs = max(1, args.jobs)
     base = TrainingJobConfig(
         max_epochs=args.epochs,
@@ -677,6 +718,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             _parse_rule(rule_tokens[0], schedule, args.server_lr)
             if len(rule_tokens) == 1
             else None
+        ),
+        codec=(
+            None
+            if len(codec_tokens) != 1 or codec_tokens[0] == "none"
+            else codec_tokens[0]
         ),
         faults=_parse_faults(args),
         seed=args.seed,
@@ -706,6 +752,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 make_rule(token, schedule, **_rule_kwargs(token, args.server_lr))
                 for token in rule_tokens
             ],
+        )
+    if len(codec_tokens) > 1:
+        sweep.axis(
+            "codec",
+            [None if token == "none" else token for token in codec_tokens],
         )
     print(f"running {sweep.size} configurations ...")
     if jobs > 1:

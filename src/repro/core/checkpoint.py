@@ -75,6 +75,11 @@ class Checkpoint:
     # publish counter, so staleness/delay bookkeeping survives a restart.
     rule_state: dict[str, np.ndarray] = field(default_factory=dict)
     publish_count: int = 0
+    # Codec-plane internals (per-client error-feedback residuals — see
+    # ParamCodecPlane.state_dict): a resumed lossy-codec run carries the
+    # exact residual mass its clients had accumulated.  Empty for
+    # codec-free runs and for blobs written before the codec plane.
+    codec_state: dict[str, np.ndarray] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.epochs_completed < 0 or self.elapsed_s < 0:
@@ -90,6 +95,7 @@ class Checkpoint:
         params: np.ndarray,
         rule_state: dict[str, np.ndarray] | None = None,
         publish_count: int = 0,
+        codec_state: dict[str, np.ndarray] | None = None,
     ) -> "Checkpoint":
         """Snapshot the end state of a (possibly partial) run.
 
@@ -106,6 +112,7 @@ class Checkpoint:
             history=tuple(result.epochs),
             rule_state=dict(rule_state or {}),
             publish_count=publish_count,
+            codec_state=dict(codec_state or {}),
         )
 
     def seed_result(self) -> RunResult:
@@ -137,6 +144,12 @@ class Checkpoint:
         }
         columns.update(
             {f"rule__{key}": np.asarray(value) for key, value in self.rule_state.items()}
+        )
+        columns.update(
+            {
+                f"codec__{key}": np.asarray(value)
+                for key, value in self.codec_state.items()
+            }
         )
         buf = io.BytesIO()
         np.savez_compressed(
@@ -204,6 +217,11 @@ class Checkpoint:
                     for name in archive.files
                     if name.startswith("rule__")
                 }
+                codec_state = {
+                    name[len("codec__"):]: archive[name].copy()
+                    for name in archive.files
+                    if name.startswith("codec__")
+                }
                 return Checkpoint(
                     params=archive["params"].copy(),
                     epochs_completed=meta["epochs_completed"],
@@ -212,6 +230,7 @@ class Checkpoint:
                     history=history,
                     rule_state=rule_state,
                     publish_count=meta.get("publish_count", 0),
+                    codec_state=codec_state,
                 )
         except TrainingError:
             raise

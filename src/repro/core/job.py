@@ -143,6 +143,17 @@ class TrainingJobConfig:
     store_kind: str = "eventual"  # "eventual" (Redis-like) | "strong" (MySQL-like)
     compression_enabled: bool = True
     sticky_files_enabled: bool = True
+    # -- transfer codec plane (repro.nn.codecs / repro.core.codec_plane) ----
+    # None keeps the historical fixed-ratio wire accounting, byte-identical
+    # to pre-codec runs (golden-pinned).  A codec name turns on measured
+    # wire sizes and — for lossy codecs — simulation-honest quantized
+    # training: "zlib" (measured baseline), "fp16"/"int8" (quantization,
+    # per-tensor scales), "topk" (upload sparsification with client-side
+    # error feedback), "delta" (XOR chains against the client's cached
+    # parameter version).
+    codec: str | None = None
+    codec_topk: float = 0.01  # kept fraction for the topk codec
+    codec_quant: str = "fp32"  # topk value quantization: fp32 | fp16 | int8
     affinity_enabled: bool = True
     reliability_enabled: bool = True
     heartbeats_enabled: bool = False  # trickle progress reports
@@ -264,6 +275,32 @@ class TrainingJobConfig:
             raise ConfigurationError("quarantine_after must be non-negative")
         if self.max_param_norm is not None and self.max_param_norm <= 0:
             raise ConfigurationError("max_param_norm must be positive or None")
+        if self.codec is not None:
+            from ..nn.codecs import CODEC_NAMES, VALUE_QUANTS
+
+            if self.codec not in CODEC_NAMES:
+                raise ConfigurationError(
+                    f"unknown codec {self.codec!r} "
+                    f"(choices: {', '.join(CODEC_NAMES)})"
+                )
+            if not 0.0 < self.codec_topk <= 1.0:
+                raise ConfigurationError("codec_topk must be in (0, 1]")
+            if self.codec_quant not in VALUE_QUANTS:
+                raise ConfigurationError(
+                    f"unknown codec_quant {self.codec_quant!r} "
+                    f"(choices: {', '.join(VALUE_QUANTS)})"
+                )
+            if not self.compression_enabled:
+                raise ConfigurationError(
+                    "codecs require compression_enabled=True (the codec "
+                    "plane replaces the wire-size model)"
+                )
+            if self.cohort_size > 1 or self.step_jobs > 1:
+                raise ConfigurationError(
+                    "codecs are incompatible with the deferred execution "
+                    "plane (cohort_size/step_jobs > 1): uploads must encode "
+                    "inline at compute end"
+                )
 
     # -- conveniences -----------------------------------------------------------
     @property
@@ -295,6 +332,21 @@ class TrainingJobConfig:
         """Copy with a different server-side update rule (the rule-family
         comparison helper); None restores the default VC-ASGD."""
         return replace(self, update_rule=rule)
+
+    def with_codec(
+        self,
+        codec: str | None,
+        topk: float | None = None,
+        quant: str | None = None,
+    ) -> "TrainingJobConfig":
+        """Copy with a different transfer codec (the frontier-sweep
+        helper); None restores the historical fixed-ratio accounting."""
+        overrides: dict = {"codec": codec}
+        if topk is not None:
+            overrides["codec_topk"] = topk
+        if quant is not None:
+            overrides["codec_quant"] = quant
+        return replace(self, **overrides)
 
     def resolved_update_rule(self) -> UpdateRule:
         """The configured rule, or the default VC-ASGD over ``alpha_schedule``."""

@@ -46,7 +46,7 @@ from ..nn.losses import cross_entropy
 from ..nn.metrics import evaluate_classifier
 from ..nn.models import build_model
 from ..nn.optim import SGD, Adam
-from ..nn.serialization import StateLayout
+from ..nn.serialization import StateLayout, compressed_size_cache_stats
 from ..nn.tensor import Tensor
 from ..obs.runtime import ObservabilityConfig, RunObservability
 from ..simulation.adversary import AdversaryFabric
@@ -58,6 +58,7 @@ from ..simulation.rng import RngRegistry
 from ..simulation.tracing import Trace
 from .autoscale import AutoscalePolicy, AutoscalingPool
 from .checkpoint import Checkpoint
+from .codec_plane import ParamCodecPlane
 from .job import TrainingJobConfig
 from .param_server import PARAM_KEY, ParameterServerPool
 from .results import EpochRecord, RunResult
@@ -181,6 +182,30 @@ class DistributedRunner:
         self._param_raw_bytes = initial_vec.nbytes
         self._param_wire_bytes = int(initial_vec.nbytes * PARAM_COMPRESSION_RATIO)
 
+        # ---- transfer codec plane (DESIGN.md codec section) ---------------
+        # None keeps the historical fixed-ratio accounting byte-for-byte;
+        # a configured codec replaces publish/upload wire sizes with
+        # measured encoded sizes and (for lossy codecs) makes clients
+        # train on the decoded copies.  Error feedback is disabled under
+        # replication: sibling replicas must decode bit-identically.
+        self._codec_plane: ParamCodecPlane | None = None
+        if config.codec is not None:
+            self._codec_plane = ParamCodecPlane(
+                config.codec,
+                layout=self._layout,
+                trace=self.trace,
+                now_fn=lambda: self.sim.now,
+                topk_fraction=config.codec_topk,
+                quant=config.codec_quant,
+                error_feedback=config.replicas == 1,
+            )
+            if resume_from is not None:
+                self._codec_plane.load_state_dict(resume_from.codec_state)
+        # Snapshot of the process-global compressed_size memo stats, so
+        # finalize can report this run's hits/misses to the (digest-
+        # excluded) obs metrics registry.
+        self._compressed_size_stats0 = compressed_size_cache_stats()
+
         # ---- parameter store --------------------------------------------
         if config.store_kind == "eventual":
             self.store = EventualStore(
@@ -286,6 +311,10 @@ class DistributedRunner:
             transfer_faults=transfer_faults,
             partitions=partitions,
         )
+        if self._codec_plane is not None:
+            # Per-client download pricing + completed-download hooks
+            # (delta chains, sticky parameter versions, net.decode).
+            self.server.web.transfer_model.codec_plane = self._codec_plane
         self.server.on_assimilated = self._on_assimilated
         # Ping-mode sleep hints fold in assimilation backpressure: an idle
         # fleet slows its polling while the merge pipeline is saturated.
@@ -687,6 +716,8 @@ class DistributedRunner:
             base_version=published.version,
             claimed_credit=claimed,
         )
+        if self._codec_plane is not None:
+            return self._codec_plane.encode_upload(update, param_vec, wu.wu_id)
         return update, self._param_wire_bytes
 
     def _maybe_corrupt(self, client_id: str, vec: np.ndarray) -> np.ndarray:
@@ -736,13 +767,22 @@ class DistributedRunner:
         if source_wu is not None:
             fields["wu"] = source_wu
         self.trace.emit(self.sim.now, "params.publish", **fields)
-        self.rule.snapshot_sent(self._param_publish_count, vec)
+        if self._codec_plane is None:
+            payload_vec, wire = vec, self._param_wire_bytes
+        else:
+            # Lossy codecs publish the *decoded* copy — what clients will
+            # actually train on — so staleness snapshots and quorum
+            # agreement see exactly the downloaded bytes.
+            payload_vec, wire = self._codec_plane.encode_publish(
+                vec, self._param_publish_count
+            )
+        self.rule.snapshot_sent(self._param_publish_count, payload_vec)
         self.server.catalog.publish(
             ServerFile(
                 name=PARAM_FILE,
-                payload=VersionedParams(vec, self._param_publish_count),
+                payload=VersionedParams(payload_vec, self._param_publish_count),
                 raw_size=self._param_raw_bytes,
-                compressed_size=self._param_wire_bytes,
+                compressed_size=wire,
                 sticky=False,
             )
         )
@@ -827,12 +867,20 @@ class DistributedRunner:
             # sibling replicas are bit-reproducible and can reach quorum.
             param_file = f"{PARAM_FILE}:e{self._current_epoch:03d}"
             frozen = self.pool.current_params().copy()
+            if self._codec_plane is None:
+                frozen_payload, frozen_wire = frozen, self._param_wire_bytes
+            else:
+                # Frozen copies encode like any publish but do not advance
+                # the delta chain: they alias the current publish version.
+                frozen_payload, frozen_wire = self._codec_plane.encode_publish(
+                    frozen, self._param_publish_count, frozen=True
+                )
             self.server.catalog.publish(
                 ServerFile(
                     name=param_file,
-                    payload=VersionedParams(frozen, self._param_publish_count),
+                    payload=VersionedParams(frozen_payload, self._param_publish_count),
                     raw_size=self._param_raw_bytes,
-                    compressed_size=self._param_wire_bytes,
+                    compressed_size=frozen_wire,
                     sticky=False,
                 )
             )
@@ -1098,6 +1146,30 @@ class DistributedRunner:
             self.result.counters["hosts_quarantined"] = sched.hosts_quarantined
         if self.config.collusion_guard and self.quorum is not None:
             self.result.counters["quorums_failed"] = self.quorum.quorums_failed
+        # Codec extras, gated identically: codec-free runs keep their
+        # historical counter set bit-for-bit.  All integers derived from
+        # encoded content — CPU times stay on the plane object.
+        if self._codec_plane is not None:
+            self.result.counters.update(self._codec_plane.counters())
+        if self.obs.registry is not None:
+            # Process-global compressed_size memo stats (digest-excluded:
+            # the memo is shared across runs, so these are not
+            # deterministic per run and must never enter counters).
+            hits, misses = compressed_size_cache_stats()
+            hits0, misses0 = self._compressed_size_stats0
+            self.obs.registry.counter("serialization.compressed_size.hits").incr(
+                hits - hits0
+            )
+            self.obs.registry.counter("serialization.compressed_size.misses").incr(
+                misses - misses0
+            )
+            if self._codec_plane is not None:
+                self.obs.registry.gauge("codec.encode_cpu_s").set(
+                    self._codec_plane.encode_cpu_s
+                )
+                self.obs.registry.gauge("codec.decode_cpu_s").set(
+                    self._codec_plane.decode_cpu_s
+                )
 
 
     def checkpoint(self) -> Checkpoint:
@@ -1112,6 +1184,11 @@ class DistributedRunner:
             self.pool.current_params(),
             rule_state=self.rule.state_dict(),
             publish_count=self._param_publish_count,
+            codec_state=(
+                self._codec_plane.state_dict()
+                if self._codec_plane is not None
+                else {}
+            ),
         )
 
 

@@ -40,6 +40,19 @@ __all__ = [
     "gradients_to_vector",
     "GradientAccumulator",
     "compressed_size",
+    "compressed_size_cache_stats",
+    # codec plane re-exports (defined in repro.nn.codecs; the ROADMAP
+    # names repro.nn.serialization as the codec home, so both paths work)
+    "CODEC_NAMES",
+    "VALUE_QUANTS",
+    "Encoded",
+    "Codec",
+    "ZlibCodec",
+    "Fp16Codec",
+    "Int8Codec",
+    "TopKCodec",
+    "DeltaCodec",
+    "make_codec",
 ]
 
 
@@ -341,6 +354,11 @@ def state_checksum(state: dict[str, np.ndarray]) -> str:
 # BLAKE2b content digest so identical payloads compress exactly once.
 _COMPRESSED_SIZE_CACHE: "OrderedDict[tuple[bytes, int], int]" = OrderedDict()
 _COMPRESSED_SIZE_CACHE_MAX = 256
+# Process-global hit/miss tallies for the memo above.  Surfaced through
+# the (digest-excluded) obs metrics registry only — the cache is shared
+# across runs in one process, so putting these in RunResult.counters
+# would break repeat-run determinism.
+_COMPRESSED_SIZE_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def compressed_size(payload: bytes | np.ndarray, level: int = 6) -> int:
@@ -348,8 +366,9 @@ def compressed_size(payload: bytes | np.ndarray, level: int = 6) -> int:
 
     Models BOINC's server-side gzip feature (§III-B): the network transfer
     model charges for compressed bytes when compression is enabled.
-    Results are memoised by content checksum, so repeated queries for the
-    same payload skip the (expensive) compression pass.
+    Results are memoised by content checksum (bounded LRU, so
+    million-publish fleet runs cannot grow it without limit), so repeated
+    queries for the same payload skip the (expensive) compression pass.
     """
     if isinstance(payload, np.ndarray):
         arr = payload if payload.flags["C_CONTIGUOUS"] else np.ascontiguousarray(payload)
@@ -358,9 +377,36 @@ def compressed_size(payload: bytes | np.ndarray, level: int = 6) -> int:
     cached = _COMPRESSED_SIZE_CACHE.get(key)
     if cached is not None:
         _COMPRESSED_SIZE_CACHE.move_to_end(key)
+        _COMPRESSED_SIZE_CACHE_STATS["hits"] += 1
         return cached
+    _COMPRESSED_SIZE_CACHE_STATS["misses"] += 1
     size = len(zlib.compress(payload, level))
     _COMPRESSED_SIZE_CACHE[key] = size
     while len(_COMPRESSED_SIZE_CACHE) > _COMPRESSED_SIZE_CACHE_MAX:
         _COMPRESSED_SIZE_CACHE.popitem(last=False)
     return size
+
+
+def compressed_size_cache_stats() -> tuple[int, int]:
+    """(hits, misses) of the process-global ``compressed_size`` memo."""
+    return (
+        _COMPRESSED_SIZE_CACHE_STATS["hits"],
+        _COMPRESSED_SIZE_CACHE_STATS["misses"],
+    )
+
+
+# Codec plane (ROADMAP "first-class codecs in repro.nn.serialization").
+# Implemented in repro.nn.codecs — imported last because the codecs call
+# back into compressed_size for their measured wire sizes.
+from .codecs import (  # noqa: E402
+    CODEC_NAMES,
+    VALUE_QUANTS,
+    Codec,
+    DeltaCodec,
+    Encoded,
+    Fp16Codec,
+    Int8Codec,
+    TopKCodec,
+    ZlibCodec,
+    make_codec,
+)

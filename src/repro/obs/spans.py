@@ -1019,6 +1019,10 @@ class _Builder:
     _on_adv_sybil_joined = _skip
     _on_credit_quarantine = _skip
     _on_quorum_failed = _skip
+    # Codec plane: per-transfer pricing records; the bytes they explain
+    # already ride on the web.download / web.upload transfer spans.
+    _on_net_encode = _skip
+    _on_net_decode = _skip
 
 
 # ---------------------------------------------------------------------------

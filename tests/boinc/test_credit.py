@@ -58,6 +58,67 @@ class TestGranting:
         assert ledger.hosts["flaky"].results_denied == 1
 
 
+class TestClaimCap:
+    def warm(self, ledger: CreditLedger, quorums: int = 3) -> None:
+        """Fill the recent-claim window with honest 100.0 claims."""
+        for i in range(quorums):
+            ledger.grant_quorum(
+                [claim("w1", 100.0, f"warm{i}"), claim("w2", 100.0, f"warm{i}")],
+                now=0.0,
+            )
+
+    def test_two_claim_midpoint_is_capped(self):
+        ledger = CreditLedger()
+        self.warm(ledger)  # 6 honest claims in the window
+        grant = ledger.grant_quorum(
+            [claim("honest", 100.0), claim("cheat", 10000.0)], now=0.0
+        )
+        # Median of 2 claims is the 5050.0 midpoint; the cap holds it at
+        # 2x the recent-claim median instead.
+        assert grant == 200.0
+        assert ledger.claims_capped == 1
+        assert ledger.host_total("cheat") == 200.0
+
+    def test_cap_inactive_before_window_fills(self):
+        ledger = CreditLedger()
+        grant = ledger.grant_quorum(
+            [claim("honest", 100.0), claim("cheat", 10000.0)], now=0.0
+        )
+        assert grant == 5050.0  # cold start: plain midpoint
+        assert ledger.claims_capped == 0
+
+    def test_honest_equal_claims_never_capped(self):
+        ledger = CreditLedger()
+        self.warm(ledger, quorums=10)
+        grant = ledger.grant_quorum(
+            [claim("a", 100.0), claim("b", 100.0)], now=0.0
+        )
+        assert grant == 100.0
+        assert ledger.claims_capped == 0
+
+    def test_three_claim_median_untouched(self):
+        ledger = CreditLedger()
+        self.warm(ledger)
+        grant = ledger.grant_quorum(
+            [claim("a", 100.0), claim("b", 102.0), claim("cheat", 10000.0)],
+            now=0.0,
+        )
+        assert grant == 102.0
+        assert ledger.claims_capped == 0
+
+    def test_cap_disabled_restores_midpoint(self):
+        ledger = CreditLedger(claim_cap_factor=None)
+        self.warm(ledger, quorums=10)
+        grant = ledger.grant_quorum(
+            [claim("honest", 100.0), claim("cheat", 10000.0)], now=0.0
+        )
+        assert grant == 5050.0
+
+    def test_bad_cap_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CreditLedger(claim_cap_factor=0.5)
+
+
 class TestRecentAverage:
     def test_decays_with_half_life(self):
         ledger = CreditLedger(half_life_s=100.0)

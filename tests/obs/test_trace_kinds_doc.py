@@ -47,6 +47,7 @@ def chaotic_trace():
         replicas=2,
         num_clients=4,
         ps_autoscale=True,
+        codec="fp16",  # exercises the codec plane's net.encode/net.decode
         faults=FaultConfig(chaos=seeded_plan(2021, 800.0)),
     )
     runner = DistributedRunner(config)
